@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 1 (MMPS power at the BPMs)."""
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, report):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    assert result.idle.visible
+    assert 700.0 < result.idle.idle_level < 900.0
+    assert 1500.0 < result.idle.active_level < 1900.0
+    report("Figure 1", [
+        ("idle shelf", "~800 W, clearly visible",
+         f"{result.idle.idle_level:.0f} W, visible={result.idle.visible}"),
+        ("job plateau", "~1600-1800 W",
+         f"{result.idle.active_level:.0f} W"),
+        ("sampling", "~4 min env-DB polls",
+         f"{result.samples} samples at {result.poll_interval_s:.0f} s"),
+    ])

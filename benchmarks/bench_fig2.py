@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 2 (MMPS via MonEQ, 7 domains)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, report):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    assert len(result.domains) == 7
+    assert result.agreement_with_bpm.relative_difference < 0.05
+    assert not result.idle_samples_present
+    chip = result.domains["chip_core"].mean()
+    assert all(chip >= result.domains[name].mean() for name in result.domains.names)
+    report("Figure 2", [
+        ("domains", "7 stacked domains", f"{len(result.domains)}"),
+        ("node-card total", "matches BPM total power",
+         f"{100 * result.agreement_with_bpm.relative_difference:.1f}% difference"),
+        ("idle period", "no longer visible",
+         f"visible={result.idle_samples_present}"),
+        ("data points", "many more than BPM view",
+         f"{result.samples} samples at 560 ms"),
+        ("top consumer", "chip core",
+         max(result.domains.names, key=lambda n: result.domains[n].mean())),
+    ])

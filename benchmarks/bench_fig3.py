@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3 (RAPL package power, Gaussian
+elimination at 100 ms)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, report):
+    result = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    assert result.idle_head_w < 10.0
+    assert 38.0 < result.plateau_w < 52.0
+    assert 3.0 < result.drop_depth_w < 7.0
+    assert result.spike_height_w > 0.5
+    report("Figure 3", [
+        ("capture", "starts before / ends after run",
+         f"idle head {result.idle_head_w:.1f} W, tail {result.idle_tail_w:.1f} W"),
+        ("plateau", "~45-50 W", f"{result.plateau_w:.1f} W"),
+        ("rhythmic drop", "~5 W at regular intervals",
+         f"{result.drop_depth_w:.1f} W every {result.drop_period_s:.1f} s"),
+        ("tiny spikes", "between the drops",
+         f"+{result.spike_height_w:.1f} W"),
+    ])

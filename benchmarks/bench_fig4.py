@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 4 (K20 NOOP power ramp)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, report):
+    result = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    assert 52.0 < result.level_w < 58.0
+    assert 2.0 < result.time_to_level_s < 8.0
+    report("Figure 4", [
+        ("start", "~44-46 W", f"{result.start_w:.1f} W"),
+        ("level", "~55 W", f"{result.level_w:.1f} W"),
+        ("ramp", "levels off after ~5 s",
+         f"{result.time_to_level_s:.1f} s to 95% of the rise"),
+    ])

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (K20 vector-add power + temperature)."""
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, report):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    assert result.datagen_mean_w < 60.0
+    assert 120.0 < result.compute_mean_w < 150.0
+    assert result.temp_end_c > result.temp_start_c + 10.0
+    assert result.temp_monotone_fraction > 0.95
+    report("Figure 5", [
+        ("first ~10 s", "GPU hasn't been given work",
+         f"{result.datagen_mean_w:.1f} W during host datagen"),
+        ("compute plateau", "~125-150 W",
+         f"{result.compute_mean_w:.1f} W"),
+        ("temperature", "steady increase (~40->65 C)",
+         f"{result.temp_start_c:.1f} -> {result.temp_end_c:.1f} C, "
+         f"{100 * result.temp_monotone_fraction:.0f}% rising"),
+    ])

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 6 (Phi control-panel architecture)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, report):
+    result = benchmark(fig6.run)
+    assert all(result.path_exists.values())
+    assert result.symmetric_scif
+    report("Figure 6", [
+        ("in-band path", "host -> SCIF -> card registers",
+         f"reachable={result.path_exists['in-band']}, "
+         f"{1000 * result.path_costs['in-band']:.1f} ms/query"),
+        ("out-of-band path", "SMC -> BMC over IPMB",
+         f"reachable={result.path_exists['out-of-band']}, "
+         f"{1000 * result.path_costs['out-of-band']:.1f} ms/query"),
+        ("MICRAS path", "pseudo-files on the card",
+         f"reachable={result.path_exists['micras']}, "
+         f"{1000 * result.path_costs['micras']:.2f} ms/query"),
+        ("SCIF symmetry", "same interfaces host and card",
+         str(result.symmetric_scif)),
+    ])

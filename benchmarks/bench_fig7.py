@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (Phi API vs daemon power boxplot)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, report):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    assert result.api_box.median > result.daemon_box.median
+    assert 0.5 < result.ttest.mean_difference < 4.0
+    assert result.ttest.significant(alpha=0.01)
+    report("Figure 7", [
+        ("API arm", "higher, ~113-117.5 W box",
+         f"median {result.api_box.median:.2f} W, "
+         f"IQR [{result.api_box.q1:.2f}, {result.api_box.q3:.2f}]"),
+        ("daemon arm", "lower, ~111-115 W box",
+         f"median {result.daemon_box.median:.2f} W, "
+         f"IQR [{result.daemon_box.q1:.2f}, {result.daemon_box.q3:.2f}]"),
+        ("difference", "slight but statistically significant",
+         f"{result.ttest.mean_difference:+.2f} W, p={result.ttest.pvalue:.1e}"),
+    ])

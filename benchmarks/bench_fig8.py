@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (128-card Gaussian elimination sum
+power on the Stampede slice)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, report):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    assert result.cards == 128
+    assert 13_000.0 < result.datagen_mean_w < 16_000.0
+    assert 22_000.0 < result.compute_mean_w < 27_000.0
+    report("Figure 8", [
+        ("datagen phase", "first ~100 s, cards idle",
+         f"{result.datagen_mean_w / 1e3:.1f} kW until "
+         f"{result.datagen_end_s:.0f} s"),
+        ("compute phase", "rises toward ~25 kW",
+         f"{result.compute_mean_w / 1e3:.1f} kW from "
+         f"{result.compute_start_s:.0f} s"),
+        ("transition", "clearly shown where generation stops",
+         f"jump factor {result.compute_mean_w / result.datagen_mean_w:.2f}x"),
+    ])

@@ -1,0 +1,33 @@
+"""Benchmark: the per-query overhead survey (§II running text)."""
+
+import pytest
+
+from repro.experiments import overheads
+
+PAPER_MS = {
+    "bgq-emon": 1.10,
+    "rapl-msr": 0.03,
+    "nvml": 1.3,
+    "phi-sysmgmt": 14.2,
+    "phi-micras": 0.04,
+}
+
+
+def test_overheads(benchmark, report):
+    result = benchmark(overheads.run)
+    rows = []
+    for key, paper_ms in PAPER_MS.items():
+        measured_ms = 1000.0 * result.costs[key].per_query_s
+        assert measured_ms == pytest.approx(paper_ms, rel=0.08)
+        rows.append((result.costs[key].mechanism, f"{paper_ms} ms",
+                     f"{measured_ms:.3f} ms"))
+    assert result.ordering() == [
+        "rapl-msr", "phi-micras", "bgq-emon", "nvml", "phi-sysmgmt"
+    ]
+    rows.append(("BG/Q duty overhead", "0.19 %",
+                 f"{result.costs['bgq-emon'].overhead_percent:.2f} %"))
+    rows.append(("NVML duty overhead", "1.25 %",
+                 f"{result.costs['nvml'].overhead_percent:.2f} %"))
+    rows.append(("Phi API duty overhead", "~14 %",
+                 f"{result.costs['phi-sysmgmt'].overhead_percent:.1f} %"))
+    report("Per-query overheads", rows)

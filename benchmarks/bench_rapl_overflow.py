@@ -1,0 +1,18 @@
+"""Benchmark: the RAPL counter-overflow cliff (§II-B text)."""
+
+from repro.experiments import rapl_overflow
+
+
+def test_rapl_overflow(benchmark, report):
+    result = benchmark.pedantic(rapl_overflow.run, rounds=1, iterations=1)
+    assert 60.0 <= result.max_safe_interval() <= 65.536
+    bad = [p for p in result.points if p.interval_s >= 70.0]
+    assert all(p.relative_error > 0.25 for p in bad)
+    report("RAPL overflow", [
+        ("wrap period @1 kW", "~60-65 s ('about 60 seconds')",
+         f"{result.wrap_period_s:.1f} s"),
+        ("sampling <= 65 s", "accurate",
+         f"max error {max(p.relative_error for p in result.points if p.interval_s <= 65.0):.2%}"),
+        ("sampling >= 70 s", "erroneous data",
+         f"errors {[f'{p.relative_error:.0%}' for p in bad]}"),
+    ])

@@ -1,0 +1,53 @@
+"""Scale benchmark: a full-Mira MonEQ session.
+
+"Our experiences with MonEQ show that it can easily scale to a full
+system run on Mira (49,152 compute nodes)."  (paper §III)
+
+The bench stands up all 48 racks (1,536 node boards, one EMON agent
+each) and profiles a short toy run, checking that per-agent collection
+cost stays identical to the single-card case and that total overhead
+remains sub-percent — the paper's scalability claim, at the paper's
+scale.
+"""
+
+import pytest
+
+from repro.bgq.machine import BgqMachine
+from repro.core.moneq.backends import BgqEmonBackend
+from repro.core.moneq.config import MoneqConfig
+from repro.core.moneq.session import MoneqSession
+from repro.sim.rng import RngRegistry
+from repro.workloads.toy import FixedRuntimeToyWorkload
+
+RUN_S = 20.0
+
+
+def run_full_mira():
+    machine = BgqMachine.mira(rng=RngRegistry(211), start_poller=False)
+    boards = machine.run_job(FixedRuntimeToyWorkload(duration=RUN_S),
+                             node_count=machine.node_count, t_start=0.0)
+    session = MoneqSession(
+        [BgqEmonBackend(machine.emon(b.location)) for b in boards],
+        machine.events, config=MoneqConfig(polling_interval_s=0.560),
+        node_count=machine.node_count,
+    )
+    machine.events.run_until(session.t_start + RUN_S)
+    return machine, session.finalize()
+
+
+def test_full_mira_session(benchmark, report):
+    machine, result = benchmark.pedantic(run_full_mira, rounds=1, iterations=1)
+    assert machine.node_count == 49_152
+    assert result.overhead.agent_count == 1536
+    assert len(result.output_paths) == 1536
+    # Per-agent collection stays the single-card figure.
+    per_tick = result.overhead.collection_s / result.overhead.ticks
+    assert per_tick == pytest.approx(1.10e-3, rel=0.01)
+    report("Full-Mira MonEQ session", [
+        ("nodes", "49,152 (full Mira)", f"{machine.node_count:,}"),
+        ("agents (node cards)", "one per 32 nodes", str(result.overhead.agent_count)),
+        ("per-agent collection", "same as any single card",
+         f"{per_tick * 1000:.2f} ms/tick"),
+        ("total overhead", "'easily scales'",
+         f"{result.overhead.percent_of_runtime:.2f}% of a {RUN_S:.0f} s run"),
+    ])

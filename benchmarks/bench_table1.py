@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table I (sensor availability matrix)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, report):
+    result = benchmark(table1.run)
+    assert result.only_universal_is_total_power
+    counts = result.availability_counts
+    assert counts["Xeon Phi"] > counts["NVML"] > counts["Blue Gene/Q"] > counts["RAPL"]
+    report("Table I", [
+        ("universal data points", "total power only",
+         ", ".join(result.universal_items)),
+        ("richest platform", "Xeon Phi",
+         max(counts, key=counts.get)),
+        ("availability counts", "(not quantified)",
+         str(counts)),
+    ])
+    print()
+    print(result.rendered)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (available RAPL sensors)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, report):
+    result = benchmark(table2.run)
+    assert [r[0] for r in result.rows] == [
+        "Package (PKG)", "Power Plane 0 (PP0)", "Power Plane 1 (PP1)", "DRAM",
+    ]
+    assert all(result.live_counters.values())
+    report("Table II", [
+        ("domain list", "PKG, PP0, PP1, DRAM",
+         ", ".join(r[0] for r in result.rows)),
+        ("energy MSRs live", "(implied)",
+         str(result.live_counters)),
+    ])

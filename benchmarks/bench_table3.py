@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table III (MonEQ time overhead on Mira)."""
+
+import pytest
+
+from repro.experiments import table3
+
+#: Paper's Table III, seconds.
+PAPER = {
+    "Application Runtime": {32: 202.78, 512: 202.73, 1024: 202.74},
+    "Time for Initialization": {32: 0.0027, 512: 0.0032, 1024: 0.0033},
+    "Time for Finalize": {32: 0.1510, 512: 0.1550, 1024: 0.3347},
+    "Time for Collection": {32: 0.3871, 512: 0.3871, 1024: 0.3871},
+    "Total Time for MonEQ": {32: 0.5409, 512: 0.5455, 1024: 0.7251},
+}
+
+
+def test_table3(benchmark, report):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    rows = []
+    for name, paper_row in PAPER.items():
+        measured = result.row(name)
+        rows.append((
+            name,
+            " / ".join(f"{paper_row[n]:.4f}" for n in (32, 512, 1024)),
+            " / ".join(f"{measured[n]:.4f}" for n in (32, 512, 1024)),
+        ))
+    report("Table III (32 / 512 / 1024 nodes)", rows)
+
+    # Shape assertions, matching the paper's arguments.
+    collection = result.row("Time for Collection")
+    assert collection[32] == collection[512] == collection[1024]
+    assert collection[1024] == pytest.approx(0.3871, rel=0.1)
+    init = result.row("Time for Initialization")
+    assert init[32] < init[1024] < 0.01
+    fin = result.row("Time for Finalize")
+    assert fin[1024] > 2.0 * fin[512]
+    assert result.reports[1024].percent_of_runtime == pytest.approx(0.36, abs=0.15)

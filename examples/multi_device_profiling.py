@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Hybrid-node scenario — CPU + GPU + Xeon Phi profiled at once.
+
+The paper: "if a system has both a NVIDIA GPU as well as an Intel Xeon
+Phi, profiling is possible for both of these devices at the same time."
+This example builds such a node, runs an offloaded vector-add on the
+GPU while the Phi crunches Gaussian elimination, wraps the interesting
+regions in MonEQ tags, and prints the per-device and per-tag summaries.
+
+Run:  python examples/multi_device_profiling.py
+"""
+
+from repro.core import moneq
+from repro.nvml.api import NvmlLibrary
+from repro.nvml.smi import render_smi
+from repro.testbeds import multi_device_node
+from repro.workloads.gaussian import GaussianEliminationWorkload, OffloadGaussianWorkload
+from repro.workloads.vectoradd import VectorAddWorkload
+
+
+def main() -> None:
+    node, rig = multi_device_node(seed=11)
+    package = node.device("cpu")
+    gpu = node.device("gpu")
+
+    # Stage the work: host GE feeding the GPU, offloaded GE on the Phi.
+    package.board.schedule(GaussianEliminationWorkload(n=9000, gflops=40.0),
+                           t_start=2.0)
+    gpu.board.schedule(VectorAddWorkload(), t_start=2.0)
+    rig.card.board.schedule(OffloadGaussianWorkload(datagen_seconds=20.0),
+                            t_start=2.0)
+    print(f"node {node.hostname}: devices {node.device_kinds()}")
+
+    session = moneq.initialize(node)
+    print(f"MonEQ agents: {[a.backend.label for a in session.agents]}")
+    print(f"polling interval: {session.interval_s * 1000:.0f} ms "
+          "(slowest hardware minimum governs)")
+
+    node.events.run_until(node.clock.now + 10.0)
+    session.start_tag("early-phase")
+    node.events.run_until(node.clock.now + 30.0)
+    session.end_tag("early-phase")
+    with session.tag("late-phase"):
+        node.events.run_until(node.clock.now + 60.0)
+
+    result = moneq.finalize(session)
+    print()
+    for label, traces in result.traces.items():
+        power_field = next(n for n in traces.names if n.endswith("_w"))
+        series = traces[power_field]
+        print(f"  {label:24s} {power_field:10s} mean {series.mean():7.1f} W "
+              f"({len(series)} samples)")
+
+    print("\nper-tag energy (package domain):")
+    pkg = result.traces[f"{node.hostname}-socket0"]["pkg_w"]
+    for tag in result.tags:
+        window = pkg.between(tag.t_start, tag.t_end)
+        print(f"  {tag.name:12s} [{tag.t_start:6.1f}, {tag.t_end:6.1f}] s: "
+              f"{window.energy():8.0f} J")
+    print(f"\noutput files: {result.output_paths}")
+
+    # An admin's view of the same moment, via the NVML status renderer.
+    nvml = NvmlLibrary(node)
+    nvml.init()
+    print()
+    print(render_smi(nvml))
+
+
+if __name__ == "__main__":
+    main()

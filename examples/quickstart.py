@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart — the paper's two-line MonEQ usage.
+
+Builds a simulated RAPL workstation running Gaussian elimination and
+profiles it with exactly the MonEQ contract from Listing 1:
+
+    status = MonEQ_Initialize();   ->  session = moneq.initialize(node)
+    /* User code */                ->  node.events.run_until(...)
+    status = MonEQ_Finalize();     ->  result = moneq.finalize(session)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import moneq
+from repro.testbeds import rapl_node
+
+
+def main() -> None:
+    node, workload = rapl_node(seed=42)
+    print(f"node: {node.hostname}, kernel {node.kernel.version}, "
+          f"workload: {workload.name} ({workload.duration:.0f} s)")
+
+    session = moneq.initialize(node)                     # line 1
+    node.events.run_until(node.clock.now + 70.0)         # "user code"
+    result = moneq.finalize(session)                     # line 2
+
+    pkg = result.trace("pkg_w")
+    print(f"\ncollected {len(pkg)} samples at "
+          f"{session.interval_s * 1000:.0f} ms")
+    print(f"package power: mean {pkg.mean():.1f} W, "
+          f"min {pkg.min():.1f} W, max {pkg.max():.1f} W")
+    print(f"energy over the window: {pkg.energy():.0f} J")
+    print(f"\noverhead: init {result.overhead.initialize_s * 1000:.2f} ms, "
+          f"collect {result.overhead.collection_s * 1000:.1f} ms, "
+          f"finalize {result.overhead.finalize_s * 1000:.1f} ms "
+          f"({result.overhead.percent_of_runtime:.2f}% of runtime)")
+    print(f"output file: {result.output_paths[0]} (in the node's VFS)")
+
+
+if __name__ == "__main__":
+    main()

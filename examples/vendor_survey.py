@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Vendor survey — regenerate the paper's comparison artifacts in one go.
+
+Prints Table I (capability matrix), Table II (RAPL domains), the
+per-query overhead survey, and the RAPL overflow sweep — the paper's
+§II in a single run.
+
+Run:  python examples/vendor_survey.py
+"""
+
+from repro.experiments import overheads, rapl_overflow, table1, table2
+
+
+def main() -> None:
+    table1.main()
+    print("\n" + "=" * 70 + "\n")
+    table2.main()
+    print("\n" + "=" * 70 + "\n")
+    overheads.main()
+    print("\n" + "=" * 70 + "\n")
+    rapl_overflow.main()
+
+
+if __name__ == "__main__":
+    main()

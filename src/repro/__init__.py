@@ -1,0 +1,48 @@
+"""repro — reproduction of *Comparison of Vendor Supplied Environmental Data
+Collection Mechanisms* (Wallace et al., IEEE CLUSTER 2015).
+
+The package simulates the four vendor environmental-data collection
+mechanisms the paper surveys — IBM Blue Gene/Q (EMON + environmental
+database), Intel RAPL (MSR / perf_event), NVIDIA NVML, and the Intel Xeon
+Phi (SysMgmt SCIF API / MICRAS daemon / out-of-band IPMB) — together with a
+Python port of **MonEQ**, the paper's unified power-profiling library.
+
+Quickstart (the paper's "two lines of code")::
+
+    from repro import moneq
+    from repro.testbeds import rapl_node
+
+    node, workload = rapl_node()
+    session = moneq.initialize(node)          # line 1: setup power
+    node.run(workload)
+    result = moneq.finalize(session)          # line 2: finalize power
+    print(result.trace("pkg").mean())
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation substrate: virtual clock, event queue,
+    deterministic hash-based noise, continuous signals, traces.
+``repro.host``
+    Host substrate: virtual filesystem, POSIX-like permissions, nodes,
+    clusters.
+``repro.runtime``
+    MPI-like SPMD runtime with an interconnect cost model.
+``repro.workloads``
+    Phase-based workload models (MMPS, Gaussian elimination, NOOP,
+    vector-add, fixed-runtime toy).
+``repro.bgq`` / ``repro.rapl`` / ``repro.nvml`` / ``repro.xeonphi``
+    The four vendor device simulators.
+``repro.core``
+    MonEQ and the unified capability matrix (Table I).
+``repro.baselines``
+    Simplified PAPI / TAU / PowerPack comparator collectors.
+``repro.analysis``
+    Trace statistics, energy integration, boxplots, comparisons.
+``repro.experiments``
+    One module per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""Command-line entry point.
+
+::
+
+    python -m repro list                # available experiments
+    python -m repro table3              # regenerate one table/figure
+    python -m repro all                 # regenerate everything
+    python -m repro report              # print EXPERIMENTS.md content
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import report as report_module
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(__doc__.strip())
+        return 0
+    command = args[0]
+    if command == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    if command == "report":
+        report_module.main()
+        return 0
+    if command == "all":
+        for name, module in ALL_EXPERIMENTS.items():
+            print(f"==== {name} " + "=" * (60 - len(name)))
+            module.main()
+            print()
+        return 0
+    module = ALL_EXPERIMENTS.get(command)
+    if module is None:
+        print(f"unknown experiment {command!r}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Trace analysis: statistics, boxplots, energy, comparisons, tables."""
+
+from repro.analysis.stats import Summary, summarize, welch_ttest
+from repro.analysis.boxplot import BoxplotStats, boxplot_stats
+from repro.analysis.compare import (
+    idle_visibility,
+    relative_error,
+    series_agreement,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "welch_ttest",
+    "BoxplotStats",
+    "boxplot_stats",
+    "idle_visibility",
+    "series_agreement",
+    "relative_error",
+    "format_table",
+]

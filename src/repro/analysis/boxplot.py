@@ -1,0 +1,43 @@
+"""Boxplot statistics (Tukey convention), for Figure 7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import AnalysisError
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary with 1.5-IQR whiskers and outliers."""
+
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: np.ndarray) -> BoxplotStats:
+    """Tukey boxplot statistics of one sample."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1 or len(data) == 0:
+        raise AnalysisError("boxplot_stats needs a non-empty 1-D sample")
+    q1, median, q3 = np.percentile(data, [25.0, 50.0, 75.0])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = data[(data >= low_fence) & (data <= high_fence)]
+    outliers = data[(data < low_fence) | (data > high_fence)]
+    return BoxplotStats(
+        q1=float(q1), median=float(median), q3=float(q3),
+        whisker_low=float(inside.min()), whisker_high=float(inside.max()),
+        outliers=tuple(float(x) for x in np.sort(outliers)),
+    )

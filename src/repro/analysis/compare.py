@@ -1,0 +1,87 @@
+"""Cross-mechanism trace comparisons.
+
+The paper's Figure 1 vs Figure 2 contrast is quantified here:
+the env-DB view shows the idle shelf before/after a job (long window,
+coarse samples) while the MonEQ view does not (collection starts with
+the application) but carries far more points and the same total power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import AnalysisError
+from repro.sim.trace import TraceSeries
+
+
+@dataclass(frozen=True)
+class IdleVisibility:
+    """Whether a trace shows a distinct idle shelf and where."""
+
+    visible: bool
+    idle_level: float
+    active_level: float
+    step_ratio: float
+
+
+def idle_visibility(series: TraceSeries, threshold_ratio: float = 1.3) -> IdleVisibility:
+    """Detect an idle shelf: cluster samples around the low and high
+    levels and compare.
+
+    ``visible`` is True when the trace contains a low cluster whose
+    level is at least ``threshold_ratio`` below the high cluster *and*
+    both clusters are populated — the Figure 1 signature.
+    """
+    if len(series) < 4:
+        raise AnalysisError("idle detection needs at least 4 samples")
+    values = series.values
+    midpoint = 0.5 * (values.min() + values.max())
+    low = values[values < midpoint]
+    high = values[values >= midpoint]
+    if len(low) == 0 or len(high) == 0:
+        return IdleVisibility(False, float(values.min()), float(values.max()), 1.0)
+    idle_level = float(low.mean())
+    active_level = float(high.mean())
+    ratio = active_level / idle_level if idle_level > 0 else np.inf
+    # A real shelf needs multiple samples on both levels.
+    visible = ratio >= threshold_ratio and len(low) >= 2 and len(high) >= 2
+    return IdleVisibility(visible, idle_level, active_level, float(ratio))
+
+
+@dataclass(frozen=True)
+class Agreement:
+    """How closely two mechanisms agree on the same underlying signal."""
+
+    mean_a: float
+    mean_b: float
+    relative_difference: float
+    sample_ratio: float
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference|."""
+    if reference == 0.0:
+        raise AnalysisError("reference value is zero")
+    return abs(measured - reference) / abs(reference)
+
+
+def series_agreement(a: TraceSeries, b: TraceSeries,
+                     window: tuple[float, float] | None = None) -> Agreement:
+    """Compare two mechanisms' views over a common window.
+
+    ``sample_ratio`` is len(a)/len(b) — the paper's "many more data
+    points than observed from the BPM" observation, quantified.
+    """
+    if window is not None:
+        a = a.between(*window)
+        b = b.between(*window)
+    if len(a) == 0 or len(b) == 0:
+        raise AnalysisError("agreement window excludes all samples")
+    mean_a, mean_b = a.mean(), b.mean()
+    return Agreement(
+        mean_a=mean_a, mean_b=mean_b,
+        relative_difference=relative_error(mean_a, mean_b),
+        sample_ratio=len(a) / len(b),
+    )

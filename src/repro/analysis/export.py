@@ -1,0 +1,85 @@
+"""Trace export: CSV and JSON.
+
+Downstream users (plotting scripts, notebooks, spreadsheets) need the
+regenerated series out of the simulator; these helpers serialize
+:class:`~repro.sim.trace.TraceSeries`/:class:`~repro.sim.trace.TraceSet`
+to standard formats, and parse the CSV back for round-trip checks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.analysis.stats import AnalysisError
+from repro.sim.trace import TraceSeries, TraceSet
+
+
+def traceset_to_csv(traces: TraceSet, float_format: str = "{:.6f}") -> str:
+    """CSV with a ``time_s`` column plus one column per series."""
+    if len(traces) == 0:
+        raise AnalysisError("cannot export an empty TraceSet")
+    header, table = traces.to_table()
+    out = io.StringIO()
+    out.write(",".join(header) + "\n")
+    for row in table:
+        out.write(",".join(float_format.format(x) for x in row) + "\n")
+    return out.getvalue()
+
+
+def series_to_csv(series: TraceSeries, **kwargs) -> str:
+    """CSV of one series (time_s plus its name)."""
+    return traceset_to_csv(TraceSet({series.name or "value": series}), **kwargs)
+
+
+def csv_to_traceset(text: str, units: str = "W") -> TraceSet:
+    """Parse a :func:`traceset_to_csv` document back into a TraceSet."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 2:
+        raise AnalysisError("CSV needs a header and at least one row")
+    header = lines[0].split(",")
+    if header[0] != "time_s":
+        raise AnalysisError(f"first column must be time_s, got {header[0]!r}")
+    table = np.array([[float(x) for x in line.split(",")] for line in lines[1:]])
+    if table.shape[1] != len(header):
+        raise AnalysisError("row width does not match header")
+    traces = TraceSet()
+    for column, name in enumerate(header[1:], start=1):
+        traces.add(name, TraceSeries(table[:, 0], table[:, column], name, units))
+    return traces
+
+
+def traceset_to_json(traces: TraceSet, indent: int | None = None) -> str:
+    """JSON document: {"time_s": [...], "series": {name: {...}}}."""
+    if len(traces) == 0:
+        raise AnalysisError("cannot export an empty TraceSet")
+    document = {
+        "time_s": traces.times.tolist(),
+        "series": {
+            name: {
+                "units": traces[name].units,
+                "values": traces[name].values.tolist(),
+            }
+            for name in traces.names
+        },
+    }
+    return json.dumps(document, indent=indent)
+
+
+def json_to_traceset(text: str) -> TraceSet:
+    """Inverse of :func:`traceset_to_json`."""
+    document = json.loads(text)
+    try:
+        times = np.asarray(document["time_s"], dtype=np.float64)
+        series_map = document["series"]
+    except (KeyError, TypeError) as exc:
+        raise AnalysisError(f"malformed trace JSON: {exc}") from exc
+    traces = TraceSet()
+    for name, payload in series_map.items():
+        traces.add(name, TraceSeries(
+            times, np.asarray(payload["values"], dtype=np.float64),
+            name, payload.get("units", ""),
+        ))
+    return traces

@@ -1,0 +1,90 @@
+"""Terminal rendering of time series.
+
+The repository is terminal-first: every figure the harness regenerates
+can be eyeballed as an ASCII chart (`python -m repro fig3`), which is
+how EXPERIMENTS.md claims were sanity-checked.  Values are binned onto
+a character grid column-by-column; each column shows the min..max band
+of its bin so short spikes stay visible at any width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import AnalysisError
+from repro.sim.trace import TraceSeries
+
+
+def ascii_chart(series: TraceSeries, width: int = 72, height: int = 16,
+                title: str | None = None) -> str:
+    """Render a series as an ASCII band chart."""
+    if len(series) == 0:
+        raise AnalysisError("cannot chart an empty series")
+    if width < 8 or height < 4:
+        raise AnalysisError(f"chart too small: {width}x{height}")
+    times, values = series.times, series.values
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        hi = lo + 1.0
+    # Bin samples into columns.
+    edges = np.linspace(times[0], times[-1] + 1e-12, width + 1)
+    column_lo = np.full(width, np.nan)
+    column_hi = np.full(width, np.nan)
+    indices = np.clip(np.searchsorted(edges, times, side="right") - 1, 0, width - 1)
+    for column in range(width):
+        mask = indices == column
+        if mask.any():
+            column_lo[column] = values[mask].min()
+            column_hi[column] = values[mask].max()
+    # Forward-fill empty columns (sparse series).
+    for column in range(width):
+        if np.isnan(column_lo[column]) and column > 0:
+            column_lo[column] = column_lo[column - 1]
+            column_hi[column] = column_hi[column - 1]
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return int(round((height - 1) * frac))
+
+    grid = [[" "] * width for _ in range(height)]
+    for column in range(width):
+        if np.isnan(column_lo[column]):
+            continue
+        r0, r1 = row_of(column_lo[column]), row_of(column_hi[column])
+        for row in range(min(r0, r1), max(r0, r1) + 1):
+            grid[row][column] = "#"
+
+    label_width = max(len(f"{hi:.1f}"), len(f"{lo:.1f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height - 1, -1, -1):
+        label = ""
+        if row == height - 1:
+            label = f"{hi:.1f}"
+        elif row == 0:
+            label = f"{lo:.1f}"
+        lines.append(f"{label.rjust(label_width)} |" + "".join(grid[row]))
+    axis = f"{'':{label_width}} +" + "-" * width
+    footer = (f"{'':{label_width}}  t={times[0]:.1f}s"
+              + f"t={times[-1]:.1f}s".rjust(width - len(f"t={times[0]:.1f}s") + 1))
+    lines.append(axis)
+    lines.append(footer)
+    if series.units:
+        lines.append(f"{'':{label_width}}  [{series.name or 'series'}: {series.units}]")
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line sparkline using block characters."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise AnalysisError("cannot sparkline an empty array")
+    blocks = " .:-=+*#%@"
+    # Downsample by mean into ``width`` buckets.
+    buckets = np.array_split(data, min(width, data.size))
+    means = np.array([b.mean() for b in buckets])
+    lo, hi = means.min(), means.max()
+    span = (hi - lo) or 1.0
+    levels = ((means - lo) / span * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[level] for level in levels)

@@ -1,0 +1,77 @@
+"""Descriptive statistics and the Welch t-test.
+
+The Figure 7 claim — "while slight, there is a statistically
+significant difference between the two collection methods" — is checked
+with Welch's unequal-variance t-test via SciPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ReproError
+
+
+class AnalysisError(ReproError):
+    """Bad input to an analysis routine."""
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive summary of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+
+def summarize(values: np.ndarray) -> Summary:
+    """Describe a 1-D sample."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1 or len(data) == 0:
+        raise AnalysisError("summarize needs a non-empty 1-D sample")
+    q1, median, q3 = np.percentile(data, [25.0, 50.0, 75.0])
+    return Summary(
+        n=len(data),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if len(data) > 1 else 0.0,
+        minimum=float(data.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(data.max()),
+    )
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Welch t-test outcome."""
+
+    statistic: float
+    pvalue: float
+    mean_difference: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.pvalue < alpha
+
+
+def welch_ttest(a: np.ndarray, b: np.ndarray) -> TTestResult:
+    """Welch's unequal-variance t-test between two samples."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if len(a) < 2 or len(b) < 2:
+        raise AnalysisError("welch_ttest needs at least 2 samples per arm")
+    result = stats.ttest_ind(a, b, equal_var=False)
+    return TTestResult(
+        statistic=float(result.statistic),
+        pvalue=float(result.pvalue),
+        mean_difference=float(a.mean() - b.mean()),
+    )

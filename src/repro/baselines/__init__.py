@@ -1,0 +1,32 @@
+"""Comparator power-profiling tools (paper §III).
+
+Simplified functional models of the three tools the paper positions
+MonEQ against:
+
+* **PAPI** — component-based counter API; "supports collecting power
+  consumption information for Intel RAPL, NVML, and the Xeon Phi" and
+  "allows for monitoring at designated intervals".
+* **TAU** — profiling/tracing system; "as of version 2.23, TAU also
+  supports power profiling collection of RAPL through the MSR drivers.
+  To the best of our knowledge this is the only system that TAU
+  supports."
+* **PowerPack** — external metering (WattsUp Pro on the supply, NI DAQ
+  on the rails); "even as of this latest version PowerPack does not
+  allow for the collection of power data from newer generation hardware
+  such as Intel RAPL, NVML, or the Xeon Phi."
+"""
+
+from repro.baselines.papi import PapiComponent, PapiEventSet, PapiLibrary
+from repro.baselines.tau import TauMeasurement, TauProfiler
+from repro.baselines.powerpack import NiDaqChannel, PowerPackRig, WattsUpMeter
+
+__all__ = [
+    "PapiLibrary",
+    "PapiComponent",
+    "PapiEventSet",
+    "TauProfiler",
+    "TauMeasurement",
+    "PowerPackRig",
+    "WattsUpMeter",
+    "NiDaqChannel",
+]

@@ -1,0 +1,133 @@
+"""PAPI-like component counter API.
+
+The shape of PAPI 5's power support: the library enumerates
+*components* (rapl, nvml, mic), each exposing named events; callers
+build an event set, start it, and read accumulated/instant values.
+Like real PAPI, the RAPL component exposes **energy** counters (nJ)
+while NVML/MIC expose instantaneous power — a unit mismatch MonEQ's
+unified interface deliberately hides, which is the comparison the tests
+draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, ReproError
+from repro.host.node import Node
+from repro.rapl.domains import RaplDomain
+
+
+class PapiError(ReproError):
+    """PAPI-style failure (unknown event, bad state)."""
+
+
+@dataclass(frozen=True)
+class PapiComponent:
+    """One PAPI component: name plus its event list."""
+
+    name: str
+    events: tuple[str, ...]
+
+
+@dataclass
+class PapiEventSet:
+    """A started set of events with their start-time snapshot."""
+
+    events: list[str]
+    started_at: float | None = None
+    _snapshots: dict[str, float] = field(default_factory=dict)
+
+
+class PapiLibrary:
+    """A PAPI instance bound to one node's devices."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self._components: dict[str, PapiComponent] = {}
+        if node.devices("cpu"):
+            self._components["rapl"] = PapiComponent(
+                "rapl",
+                tuple(f"rapl:::PACKAGE_ENERGY:{d.value.upper()}" for d in RaplDomain),
+            )
+        kepler = [g for g in node.devices("gpu")
+                  if g.model.supports_power_readings]
+        if kepler:
+            self._components["nvml"] = PapiComponent(
+                "nvml", tuple(f"nvml:::power:device{i}" for i in range(len(kepler))),
+            )
+        if node.devices("micras"):
+            self._components["mic"] = PapiComponent(
+                "mic", ("mic:::power", "mic:::temp_die"),
+            )
+
+    # -- discovery -------------------------------------------------------------
+
+    def components(self) -> list[str]:
+        """Component names present on this node (the paper's trio when
+        all hardware is installed)."""
+        return sorted(self._components)
+
+    def events(self, component: str) -> tuple[str, ...]:
+        comp = self._components.get(component)
+        if comp is None:
+            raise PapiError(f"no PAPI component {component!r} on this node")
+        return comp.events
+
+    # -- event-set lifecycle ------------------------------------------------------
+
+    def create_eventset(self, events: list[str]) -> PapiEventSet:
+        known = {e for comp in self._components.values() for e in comp.events}
+        for event in events:
+            if event not in known:
+                raise PapiError(f"unknown event {event!r}")
+        if not events:
+            raise ConfigError("event set must not be empty")
+        return PapiEventSet(events=list(events))
+
+    def start(self, eventset: PapiEventSet) -> None:
+        if eventset.started_at is not None:
+            raise PapiError("event set already started")
+        t = self.node.clock.now
+        eventset.started_at = t
+        for event in eventset.events:
+            eventset._snapshots[event] = self._raw_value(event, t)
+
+    def read(self, eventset: PapiEventSet) -> dict[str, float]:
+        """Counter values since start (energy events accumulate; power
+        events report the instantaneous reading)."""
+        if eventset.started_at is None:
+            raise PapiError("event set not started")
+        t = self.node.clock.now
+        out = {}
+        for event in eventset.events:
+            value = self._raw_value(event, t)
+            if event.startswith("rapl:::"):
+                out[event] = value - eventset._snapshots[event]
+            else:
+                out[event] = value
+        return out
+
+    def stop(self, eventset: PapiEventSet) -> dict[str, float]:
+        values = self.read(eventset)
+        eventset.started_at = None
+        eventset._snapshots.clear()
+        return values
+
+    # -- event evaluation -------------------------------------------------------
+
+    def _raw_value(self, event: str, t: float) -> float:
+        if event.startswith("rapl:::"):
+            domain = RaplDomain(event.rsplit(":", 1)[1].lower())
+            package = self.node.device("cpu")
+            # Nanojoules, as real PAPI reports.
+            return package.energy_raw(domain, t) * package.units.energy_j * 1e9
+        if event.startswith("nvml:::"):
+            index = int(event.rsplit("device", 1)[1])
+            gpu = self.node.device("gpu", index)
+            return float(gpu.power_sensor.read(t))  # watts
+        if event == "mic:::power":
+            return self.node.device("micras").smc.read_sensor("power_w", t)
+        if event == "mic:::temp_die":
+            return self.node.device("micras").smc.read_sensor("die_temp_c", t)
+        raise PapiError(f"unknown event {event!r}")  # pragma: no cover

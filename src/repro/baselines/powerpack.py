@@ -1,0 +1,117 @@
+"""PowerPack-like external metering rig.
+
+PowerPack "historically gathered data from hardware tools such as a
+WattsUp Pro meter connected to the power supply and a NI meter
+connected to the CPU/memory/motherboard" — and even PowerPack 3.0
+"does not allow for the collection of power data from newer generation
+hardware such as Intel RAPL, NVML, or the Xeon Phi".
+
+The rig meters *true electrical* power (it clamps the wires), so it
+sees everything the node draws — including PSU conversion loss — but at
+1 Hz and with no per-domain insight into accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.host.node import Node
+from repro.sim.hashrand import hash_normal
+
+
+@dataclass(frozen=True)
+class NiDaqChannel:
+    """One NI DAQ clamp on a DC rail."""
+
+    name: str
+    kind: str          # device kind it clamps ("cpu", "gpu", "mic")
+    index: int = 0
+
+
+class WattsUpMeter:
+    """WattsUp Pro on the node's AC supply: 1 Hz, whole node."""
+
+    SAMPLE_INTERVAL_S = 1.0
+
+    def __init__(self, node: Node, psu_efficiency: float = 0.88,
+                 base_node_w: float = 65.0, noise_w: float = 1.5, seed: int = 0):
+        if not 0.5 < psu_efficiency <= 1.0:
+            raise ConfigError(f"PSU efficiency implausible: {psu_efficiency}")
+        self.node = node
+        self.psu_efficiency = psu_efficiency
+        self.base_node_w = base_node_w
+        self.noise_w = noise_w
+        self.seed = seed
+
+    def _dc_power(self, t: np.ndarray) -> np.ndarray:
+        total = np.full_like(np.asarray(t, dtype=np.float64), self.base_node_w)
+        for kind in ("cpu", "gpu", "mic"):
+            for device in self.node.devices(kind):
+                total = total + self._device_power(device, t)
+        return total
+
+    @staticmethod
+    def _device_power(device, t):
+        # CPU packages expose per-domain truth; boards expose true_power.
+        if hasattr(device, "true_power"):
+            try:
+                return device.true_power(t)
+            except TypeError:
+                pass
+        from repro.rapl.domains import RaplDomain
+
+        return (device.true_power(RaplDomain.PKG, t)
+                + device.true_power(RaplDomain.DRAM, t))
+
+    def read(self, t: float) -> float:
+        """AC watts at the wall, quantized to the 1 Hz sample grid."""
+        snapped = np.floor(t / self.SAMPLE_INTERVAL_S) * self.SAMPLE_INTERVAL_S
+        dc = float(self._dc_power(np.asarray(snapped)))
+        noise = float(hash_normal(self.seed, int(snapped))) * self.noise_w
+        return dc / self.psu_efficiency + noise
+
+    def series(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
+        """1 Hz capture over [t0, t1]."""
+        times = np.arange(np.ceil(t0), np.floor(t1) + 1.0, self.SAMPLE_INTERVAL_S)
+        return times, np.array([self.read(t) for t in times])
+
+
+class PowerPackRig:
+    """The full rig: wall meter + DC rail clamps.
+
+    ``supports(kind)`` answers the paper's comparison: external meters
+    see accelerators only as anonymous watts; software counters on
+    RAPL/NVML/MIC are out of scope.
+    """
+
+    SOFTWARE_COUNTER_SUPPORT = {"rapl": False, "nvml": False, "mic": False}
+
+    def __init__(self, node: Node, channels: list[NiDaqChannel] | None = None,
+                 seed: int = 0):
+        self.node = node
+        self.wall = WattsUpMeter(node, seed=seed)
+        self.channels = channels if channels is not None else []
+        for channel in self.channels:
+            if not node.devices(channel.kind):
+                raise ConfigError(
+                    f"channel {channel.name!r} clamps missing device kind "
+                    f"{channel.kind!r}"
+                )
+
+    def supports(self, counter: str) -> bool:
+        """Whether the rig can read a software power counter (it can't)."""
+        return self.SOFTWARE_COUNTER_SUPPORT.get(counter, False)
+
+    def read_channel(self, name: str, t: float) -> float:
+        """DC watts on one clamped rail."""
+        for channel in self.channels:
+            if channel.name == name:
+                device = self.node.device(channel.kind, channel.index)
+                return float(WattsUpMeter._device_power(device, np.asarray(t)))
+        raise ConfigError(f"no DAQ channel {name!r}")
+
+    def read_wall(self, t: float) -> float:
+        return self.wall.read(t)

@@ -1,0 +1,97 @@
+"""TAU-like profiler with RAPL-only power support.
+
+TAU is "mostly known for its profiling and tracing toolkit"; since
+2.23 it can also sample RAPL through the MSR drivers — and only RAPL
+("the only system that TAU supports for power profiling").  The model
+keeps TAU's character: timer-named regions, per-region inclusive time,
+and optional RAPL energy attribution per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ReproError
+from repro.host.node import Node
+from repro.rapl.domains import RaplDomain
+
+
+class TauError(ReproError):
+    """TAU misuse (unbalanced timers, unsupported hardware)."""
+
+
+@dataclass
+class TauMeasurement:
+    """One profiled region's totals."""
+
+    name: str
+    calls: int = 0
+    inclusive_s: float = 0.0
+    pkg_energy_j: float = 0.0
+
+
+class TauProfiler:
+    """A TAU instance on one node.
+
+    Power profiling requires a CPU with RAPL and the msr driver loaded;
+    GPUs and Phis on the node are ignored — the paper's limitation,
+    which the comparison tests assert.
+    """
+
+    SUPPORTED_POWER_PLATFORMS = ("rapl",)
+
+    def __init__(self, node: Node, power_profiling: bool = True):
+        self.node = node
+        self.power_profiling = power_profiling
+        if power_profiling:
+            if not node.devices("cpu"):
+                raise TauError("TAU power profiling needs a RAPL-capable CPU")
+            if not node.kernel.is_loaded("msr"):
+                raise TauError("TAU reads RAPL through the MSR driver; "
+                               "modprobe msr first")
+        self._stack: list[tuple[str, float, float]] = []
+        self._profiles: dict[str, TauMeasurement] = {}
+
+    def supports_power_on(self, kind: str) -> bool:
+        """Whether TAU can collect power from a device kind."""
+        return kind == "cpu"
+
+    # -- timers -------------------------------------------------------------------
+
+    def start(self, name: str) -> None:
+        """TAU_START."""
+        if not name:
+            raise ConfigError("timer name must be non-empty")
+        t = self.node.clock.now
+        energy = self._pkg_energy(t)
+        self._stack.append((name, t, energy))
+
+    def stop(self, name: str) -> None:
+        """TAU_STOP: must match the innermost open timer."""
+        if not self._stack or self._stack[-1][0] != name:
+            open_name = self._stack[-1][0] if self._stack else None
+            raise TauError(f"TAU_STOP({name!r}) does not match open timer "
+                           f"{open_name!r}")
+        _, t_start, e_start = self._stack.pop()
+        t = self.node.clock.now
+        profile = self._profiles.setdefault(name, TauMeasurement(name))
+        profile.calls += 1
+        profile.inclusive_s += t - t_start
+        profile.pkg_energy_j += self._pkg_energy(t) - e_start
+
+    def profile(self, name: str) -> TauMeasurement:
+        measurement = self._profiles.get(name)
+        if measurement is None:
+            raise TauError(f"no profile for {name!r}")
+        return measurement
+
+    def profiles(self) -> list[TauMeasurement]:
+        return sorted(self._profiles.values(), key=lambda m: m.name)
+
+    def _pkg_energy(self, t: float) -> float:
+        if not self.power_profiling:
+            return 0.0
+        package = self.node.device("cpu")
+        # TAU differences the raw counter; a single wrap is corrected
+        # the same way every RAPL consumer does.
+        return package.energy_raw(RaplDomain.PKG, t) * package.units.energy_j

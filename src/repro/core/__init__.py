@@ -1,0 +1,24 @@
+"""The paper's primary contribution: MonEQ and the unified sensor view.
+
+``repro.core.moneq`` is the Python port of the MonEQ power-profiling
+library; ``repro.core.capability`` is the unified taxonomy behind the
+paper's Table I.
+"""
+
+from repro.core.capability import (
+    Availability,
+    CapabilityRow,
+    PlatformCapabilities,
+    TABLE1_ROWS,
+    capability_matrix,
+    render_capability_table,
+)
+
+__all__ = [
+    "Availability",
+    "CapabilityRow",
+    "PlatformCapabilities",
+    "TABLE1_ROWS",
+    "capability_matrix",
+    "render_capability_table",
+]

@@ -1,0 +1,222 @@
+"""The unified environmental-data taxonomy — the paper's Table I.
+
+Table I compares what each platform can report, across five categories
+(total power breakdown, temperature, main memory, processor, fans) plus
+power limits.  Here the matrix is **derived from the simulators**: each
+platform adapter declares which data points its mechanism exposes, and
+the table renderer lays them out exactly as the paper does.  The
+benchmark then checks the paper's headline claims against the derived
+matrix ("just about the only data point which is collectible on all of
+these platforms is total power consumption").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Availability(enum.Enum):
+    """One cell of Table I."""
+
+    AVAILABLE = "yes"
+    UNAVAILABLE = "no"
+    NOT_APPLICABLE = "n/a"
+
+    @property
+    def mark(self) -> str:
+        return {"yes": "+", "no": "-", "n/a": "N/A"}[self.value]
+
+
+@dataclass(frozen=True)
+class CapabilityRow:
+    """(category, item) identifying one Table I row."""
+
+    category: str
+    item: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.category}/{self.item}"
+
+
+#: Table I's row structure, in the paper's order.
+TABLE1_ROWS: list[CapabilityRow] = [
+    CapabilityRow("Total Power Consumption (Watts)", "Total"),
+    CapabilityRow("Total Power Consumption (Watts)", "Voltage"),
+    CapabilityRow("Total Power Consumption (Watts)", "Current"),
+    CapabilityRow("Total Power Consumption (Watts)", "PCI Express"),
+    CapabilityRow("Total Power Consumption (Watts)", "Main Memory"),
+    CapabilityRow("Temperature", "Die"),
+    CapabilityRow("Temperature", "DDR/GDDR"),
+    CapabilityRow("Temperature", "Device"),
+    CapabilityRow("Temperature", "Intake (Fan-In)"),
+    CapabilityRow("Temperature", "Exhaust (Fan-Out)"),
+    CapabilityRow("Main Memory", "Used"),
+    CapabilityRow("Main Memory", "Free"),
+    CapabilityRow("Main Memory", "Speed (kT/sec)"),
+    CapabilityRow("Main Memory", "Frequency"),
+    CapabilityRow("Main Memory", "Voltage"),
+    CapabilityRow("Main Memory", "Clock Rate"),
+    CapabilityRow("Processor", "Voltage"),
+    CapabilityRow("Processor", "Frequency"),
+    CapabilityRow("Processor", "Clock Rate"),
+    CapabilityRow("Fans", "Speed (In RPM)"),
+    CapabilityRow("Limits", "Get/Set Power Limit"),
+]
+
+#: Table I's column order.
+PLATFORM_ORDER = ("Xeon Phi", "NVML", "Blue Gene/Q", "RAPL")
+
+
+@dataclass(frozen=True)
+class PlatformCapabilities:
+    """One platform's column: row key -> availability.
+
+    Rows not mentioned default to UNAVAILABLE, so adapters only list
+    what they *can* do (plus explicit N/A rows for data that makes no
+    sense on the platform, e.g. fans on a water-cooled BG/Q).
+    """
+
+    platform: str
+    available: frozenset[str]
+    not_applicable: frozenset[str] = frozenset()
+
+    def cell(self, row: CapabilityRow) -> Availability:
+        if row.key in self.not_applicable:
+            return Availability.NOT_APPLICABLE
+        if row.key in self.available:
+            return Availability.AVAILABLE
+        return Availability.UNAVAILABLE
+
+
+def _keys(*pairs: tuple[str, str]) -> frozenset[str]:
+    return frozenset(CapabilityRow(c, i).key for c, i in pairs)
+
+
+# ---------------------------------------------------------------------------
+# Platform declarations.  Each mirrors what its simulator actually
+# exposes; the unit tests cross-check notable cells against the
+# simulator APIs (e.g. NVML has no voltage query; EMON has V and I).
+# ---------------------------------------------------------------------------
+
+XEON_PHI_CAPABILITIES = PlatformCapabilities(
+    platform="Xeon Phi",
+    available=_keys(
+        ("Total Power Consumption (Watts)", "Total"),
+        ("Total Power Consumption (Watts)", "Voltage"),
+        ("Total Power Consumption (Watts)", "Current"),
+        ("Total Power Consumption (Watts)", "PCI Express"),
+        ("Total Power Consumption (Watts)", "Main Memory"),
+        ("Temperature", "Die"),
+        ("Temperature", "DDR/GDDR"),
+        ("Temperature", "Device"),
+        ("Temperature", "Intake (Fan-In)"),
+        ("Temperature", "Exhaust (Fan-Out)"),
+        ("Main Memory", "Used"),
+        ("Main Memory", "Free"),
+        ("Main Memory", "Speed (kT/sec)"),
+        ("Main Memory", "Frequency"),
+        ("Main Memory", "Voltage"),
+        ("Main Memory", "Clock Rate"),
+        ("Processor", "Voltage"),
+        ("Processor", "Frequency"),
+        ("Processor", "Clock Rate"),
+        ("Fans", "Speed (In RPM)"),
+        ("Limits", "Get/Set Power Limit"),
+    ),
+)
+
+NVML_CAPABILITIES = PlatformCapabilities(
+    platform="NVML",
+    available=_keys(
+        ("Total Power Consumption (Watts)", "Total"),  # whole board only
+        ("Temperature", "Die"),
+        ("Temperature", "Device"),
+        ("Main Memory", "Used"),
+        ("Main Memory", "Free"),
+        ("Main Memory", "Frequency"),
+        ("Main Memory", "Clock Rate"),
+        ("Processor", "Frequency"),
+        ("Processor", "Clock Rate"),
+        ("Fans", "Speed (In RPM)"),
+        ("Limits", "Get/Set Power Limit"),
+    ),
+)
+
+BGQ_CAPABILITIES = PlatformCapabilities(
+    platform="Blue Gene/Q",
+    available=_keys(
+        ("Total Power Consumption (Watts)", "Total"),
+        ("Total Power Consumption (Watts)", "Voltage"),
+        ("Total Power Consumption (Watts)", "Current"),
+        ("Total Power Consumption (Watts)", "PCI Express"),
+        ("Total Power Consumption (Watts)", "Main Memory"),
+        ("Main Memory", "Voltage"),
+        ("Processor", "Voltage"),
+    ),
+    # Water-cooled node boards: no airflow sensors at the device level.
+    not_applicable=_keys(
+        ("Temperature", "Intake (Fan-In)"),
+        ("Temperature", "Exhaust (Fan-Out)"),
+        ("Fans", "Speed (In RPM)"),
+    ),
+)
+
+RAPL_CAPABILITIES = PlatformCapabilities(
+    platform="RAPL",
+    available=_keys(
+        ("Total Power Consumption (Watts)", "Total"),  # socket scope
+        ("Total Power Consumption (Watts)", "Main Memory"),  # DRAM domain
+        ("Limits", "Get/Set Power Limit"),
+    ),
+    # A socket has no PCIe rail of its own nor airflow sensors.
+    not_applicable=_keys(
+        ("Total Power Consumption (Watts)", "PCI Express"),
+        ("Temperature", "Intake (Fan-In)"),
+        ("Temperature", "Exhaust (Fan-Out)"),
+        ("Fans", "Speed (In RPM)"),
+    ),
+)
+
+_PLATFORMS = {
+    "Xeon Phi": XEON_PHI_CAPABILITIES,
+    "NVML": NVML_CAPABILITIES,
+    "Blue Gene/Q": BGQ_CAPABILITIES,
+    "RAPL": RAPL_CAPABILITIES,
+}
+
+
+def capability_matrix() -> dict[str, PlatformCapabilities]:
+    """Platform name -> capabilities, in Table I column order."""
+    return {name: _PLATFORMS[name] for name in PLATFORM_ORDER}
+
+
+def universal_rows() -> list[CapabilityRow]:
+    """Rows available on *every* platform — the paper's conclusion says
+    this is (essentially) just total power consumption."""
+    matrix = capability_matrix()
+    return [
+        row for row in TABLE1_ROWS
+        if all(matrix[p].cell(row) is Availability.AVAILABLE for p in PLATFORM_ORDER)
+    ]
+
+
+def render_capability_table() -> str:
+    """ASCII rendering of Table I."""
+    matrix = capability_matrix()
+    item_width = max(len(row.item) for row in TABLE1_ROWS) + 2
+    col_width = max(len(p) for p in PLATFORM_ORDER) + 2
+    lines = [
+        " " * item_width + "".join(p.ljust(col_width) for p in PLATFORM_ORDER)
+    ]
+    current_category = None
+    for row in TABLE1_ROWS:
+        if row.category != current_category:
+            current_category = row.category
+            lines.append(current_category)
+        cells = "".join(
+            matrix[p].cell(row).mark.ljust(col_width) for p in PLATFORM_ORDER
+        )
+        lines.append("  " + row.item.ljust(item_width - 2) + cells)
+    return "\n".join(lines)

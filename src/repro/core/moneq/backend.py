@@ -1,0 +1,55 @@
+"""MonEQ backend protocol.
+
+A backend fronts one vendor mechanism for one device.  Reads are
+*passive* (they sample device state at a given virtual time without
+moving the clock); the session owns time: it charges each backend's
+declared per-query latency to the agent's process and advances the
+shared clock once per tick, because agents on different nodes collect
+in parallel.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.capability import PlatformCapabilities
+
+
+class Backend(abc.ABC):
+    """One device's collection mechanism, as MonEQ sees it."""
+
+    #: Platform column name in Table I.
+    platform: str
+    #: Identifier used in output files (location or device name).
+    label: str
+
+    @property
+    @abc.abstractmethod
+    def min_interval_s(self) -> float:
+        """The lowest polling interval possible for this hardware."""
+
+    @property
+    @abc.abstractmethod
+    def query_latency_s(self) -> float:
+        """Cost of one collection call on this mechanism."""
+
+    @abc.abstractmethod
+    def fields(self) -> list[str]:
+        """Names of the data points one read produces, in column order."""
+
+    @abc.abstractmethod
+    def read_at(self, t: float) -> dict[str, float]:
+        """Sample all fields at virtual time ``t`` (no clock movement)."""
+
+    @abc.abstractmethod
+    def capabilities(self) -> PlatformCapabilities:
+        """This platform's Table I column."""
+
+    # -- optional session hooks ---------------------------------------------
+
+    def on_session_start(self, t: float, interval_s: float) -> None:
+        """Called when profiling begins (e.g. the Phi in-band backend
+        opens its polling session, which perturbs card power)."""
+
+    def on_session_stop(self, t: float) -> None:
+        """Called at finalize."""

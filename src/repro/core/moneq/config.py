@@ -1,0 +1,54 @@
+"""MonEQ configuration.
+
+"In its default mode, MonEQ will pull data from the selected
+environmental collection interface at the lowest polling interval
+possible for the given hardware.  However, users have the ability to
+set this interval to whatever valid value is desired."  (paper §III)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MoneqConfig:
+    """Session configuration.
+
+    Parameters
+    ----------
+    polling_interval_s:
+        None means "the lowest polling interval possible for the given
+        hardware" (the max of the attached backends' minima).  Explicit
+        values below a backend's minimum are rejected at initialize.
+    buffer_slots:
+        Preallocated record capacity per agent — "allocated to a
+        reasonably large number ... while not consuming an excess of
+        memory"; the paper notes the number "isn't set in stone".
+    output_dir:
+        Directory (in the node's VFS) for per-agent output files.
+    tagging_enabled:
+        Whether start/end tag calls are honored.
+    """
+
+    polling_interval_s: float | None = None
+    buffer_slots: int = 262_144
+    output_dir: str = "/moneq"
+    tagging_enabled: bool = True
+
+    def __post_init__(self):
+        if self.polling_interval_s is not None and self.polling_interval_s <= 0.0:
+            raise ConfigError(
+                f"polling interval must be positive, got {self.polling_interval_s}"
+            )
+        if self.buffer_slots <= 0:
+            raise ConfigError(f"buffer_slots must be positive, got {self.buffer_slots}")
+        if not self.output_dir.startswith("/"):
+            raise ConfigError(f"output_dir must be absolute, got {self.output_dir!r}")
+
+    def memory_bytes_per_agent(self, field_count: int) -> int:
+        """Buffer footprint: timestamp + fields, 8 bytes each — the
+        'essentially constant with respect to scale' memory overhead."""
+        return self.buffer_slots * 8 * (field_count + 1)

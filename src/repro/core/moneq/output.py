@@ -1,0 +1,66 @@
+"""MonEQ output files.
+
+One text file per agent, written into a virtual filesystem at finalize:
+a provenance header, whitespace-separated data rows, and the tag
+markers injected after the data ("the injection happens after the
+program has completed").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.host.vfs import VirtualFileSystem
+
+
+def sanitize_label(label: str) -> str:
+    """Filesystem-safe agent label."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
+
+
+def render_agent_file(label: str, platform: str, fields: list[str],
+                      records: np.ndarray, markers: list[tuple[float, str]]) -> str:
+    """The text content of one agent's output file."""
+    lines = [
+        f"# MonEQ output: agent={label} platform={platform}",
+        f"# records={len(records)} fields={len(fields)}",
+        "# time_s " + " ".join(fields),
+    ]
+    for row in records:
+        values = " ".join(f"{row[name]:.6f}" for name in fields)
+        lines.append(f"{row['time_s']:.6f} {values}")
+    # Post-run marker injection, in time order.
+    lines.extend(marker for _, marker in markers)
+    return "\n".join(lines) + "\n"
+
+
+def write_outputs(vfs: VirtualFileSystem, output_dir: str,
+                  agent_files: dict[str, str]) -> list[str]:
+    """Write rendered agent files; returns the paths written."""
+    if not vfs.exists(output_dir):
+        vfs.mkdir(output_dir, parents=True)
+    paths = []
+    for filename, content in agent_files.items():
+        path = f"{output_dir}/{filename}"
+        vfs.write_text(path, content)
+        paths.append(path)
+    return paths
+
+
+def parse_agent_file(content: str) -> tuple[list[str], np.ndarray, list[str]]:
+    """Parse an output file back into (fields, rows, marker lines) —
+    the 'later processing' half of the tagging workflow."""
+    fields: list[str] = []
+    rows: list[list[float]] = []
+    markers: list[str] = []
+    for line in content.splitlines():
+        if line.startswith("# time_s"):
+            fields = line[2:].split()[1:]
+        elif line.startswith("#TAG_"):
+            markers.append(line)
+        elif line.startswith("#") or not line.strip():
+            continue
+        else:
+            rows.append([float(x) for x in line.split()])
+    table = np.asarray(rows, dtype=np.float64) if rows else np.empty((0, len(fields) + 1))
+    return fields, table, markers

@@ -1,0 +1,256 @@
+"""The MonEQ session: initialize -> (app runs) -> finalize.
+
+Execution model
+---------------
+Agents collect **in parallel** across nodes: one virtual-SIGALRM timer
+ticks for the whole session, every agent samples its backend passively
+at the tick time, each agent's process is charged its own query cost,
+and the shared clock advances by the *maximum* agent cost (the slowest
+node gates the tick, everyone else overlaps).  That is why Table III's
+collection time is identical at 32, 512 and 1024 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.moneq.backend import Backend
+from repro.core.moneq.config import MoneqConfig
+from repro.core.moneq.output import render_agent_file, sanitize_label, write_outputs
+from repro.core.moneq.overhead import (
+    OverheadReport,
+    finalize_time_s,
+    initialize_time_s,
+)
+from repro.core.moneq.tags import TagSet
+from repro.errors import ConfigError, MoneqBufferFullError, MoneqStateError
+from repro.host.process import Process
+from repro.host.vfs import VirtualFileSystem
+from repro.sim.events import EventQueue
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceSeries, TraceSet
+
+
+@dataclass
+class _Agent:
+    """One collection locus: a backend plus its record buffer."""
+
+    backend: Backend
+    process: Process | None
+    records: np.ndarray
+    count: int = 0
+
+    def append(self, t: float, row: dict[str, float]) -> None:
+        if self.count >= len(self.records):
+            raise MoneqBufferFullError(
+                f"agent {self.backend.label}: buffer of {len(self.records)} "
+                "records exhausted; raise MoneqConfig.buffer_slots"
+            )
+        record = self.records[self.count]
+        record["time_s"] = t
+        for name, value in row.items():
+            record[name] = value
+        self.count += 1
+
+    def filled(self) -> np.ndarray:
+        return self.records[: self.count]
+
+
+@dataclass
+class MoneqResult:
+    """Everything finalize produces."""
+
+    traces: dict[str, TraceSet]
+    overhead: OverheadReport
+    output_paths: list[str]
+    tags: list
+
+    def trace(self, field_name: str, agent: str | None = None) -> TraceSeries:
+        """One field's series; agent defaults to the only agent."""
+        if agent is None:
+            if len(self.traces) != 1:
+                raise MoneqStateError(
+                    f"session has {len(self.traces)} agents; name one of "
+                    f"{sorted(self.traces)}"
+                )
+            agent = next(iter(self.traces))
+        return self.traces[agent][field_name]
+
+    def tag_window(self, tag_name: str, field_name: str,
+                   agent: str | None = None) -> TraceSeries:
+        """A field's series restricted to one closed tag's [start, end] —
+        the "separate profiles for each work loop" the tagging feature
+        exists for."""
+        for tag in self.tags:
+            if tag.name == tag_name:
+                return self.trace(field_name, agent).between(tag.t_start, tag.t_end)
+        raise MoneqStateError(
+            f"no closed tag {tag_name!r}; have {[t.name for t in self.tags]}"
+        )
+
+
+class MoneqSession:
+    """A live profiling session (between initialize and finalize)."""
+
+    def __init__(self, backends: list[Backend], queue: EventQueue,
+                 config: MoneqConfig | None = None,
+                 processes: list[Process] | None = None,
+                 node_count: int | None = None,
+                 vfs: VirtualFileSystem | None = None):
+        if not backends:
+            raise ConfigError("MonEQ needs at least one backend")
+        self.config = config if config is not None else MoneqConfig()
+        self.queue = queue
+        self.vfs = vfs if vfs is not None else VirtualFileSystem()
+        self.node_count = node_count if node_count is not None else len(backends)
+        if processes is not None and len(processes) != len(backends):
+            raise ConfigError("processes must align 1:1 with backends")
+
+        # "The lowest polling interval possible for the given hardware":
+        # the slowest backend minimum governs a mixed-device session.
+        hardware_floor = max(b.min_interval_s for b in backends)
+        if self.config.polling_interval_s is None:
+            self.interval_s = hardware_floor
+        elif self.config.polling_interval_s < hardware_floor:
+            raise ConfigError(
+                f"polling interval {self.config.polling_interval_s} s below the "
+                f"hardware minimum {hardware_floor} s"
+            )
+        else:
+            self.interval_s = self.config.polling_interval_s
+
+        self.agents: list[_Agent] = []
+        labels_seen: set[str] = set()
+        for i, backend in enumerate(backends):
+            if backend.label in labels_seen:
+                raise ConfigError(f"duplicate backend label {backend.label!r}")
+            labels_seen.add(backend.label)
+            dtype = [("time_s", "f8")] + [(name, "f8") for name in backend.fields()]
+            self.agents.append(_Agent(
+                backend=backend,
+                process=processes[i] if processes is not None else None,
+                records=np.zeros(self.config.buffer_slots, dtype=dtype),
+            ))
+
+        self.tags = TagSet()
+        self._finalized = False
+        # Initialize cost: charged to the clock now, before the timer arms.
+        self._init_cost = initialize_time_s(self.node_count)
+        queue.clock.advance(self._init_cost)
+        self.t_start = queue.clock.now
+        for agent in self.agents:
+            agent.backend.on_session_start(self.t_start, self.interval_s)
+        self._timer = PeriodicTimer(queue, self.interval_s, self._on_tick)
+
+    # -- collection ------------------------------------------------------------
+
+    def _on_tick(self, t: float, index: int) -> None:
+        tick_cost = 0.0
+        for agent in self.agents:
+            row = agent.backend.read_at(t)
+            agent.append(t, row)
+            cost = agent.backend.query_latency_s
+            if agent.process is not None and agent.process.alive:
+                agent.process.charge(cost)
+            tick_cost = max(tick_cost, cost)
+        # Agents overlap across nodes; the slowest gates the tick.
+        self.queue.clock.advance(tick_cost)
+
+    @property
+    def ticks(self) -> int:
+        return self._timer.ticks_fired
+
+    # -- tagging ------------------------------------------------------------------
+
+    def start_tag(self, name: str) -> None:
+        """Open a named section at the current virtual time."""
+        self._ensure_live()
+        if not self.config.tagging_enabled:
+            raise MoneqStateError("tagging disabled in this session's config")
+        self.tags.start(name, self.queue.clock.now)
+
+    def end_tag(self, name: str) -> None:
+        """Close a named section at the current virtual time."""
+        self._ensure_live()
+        if not self.config.tagging_enabled:
+            raise MoneqStateError("tagging disabled in this session's config")
+        self.tags.end(name, self.queue.clock.now)
+
+    # -- finalize -----------------------------------------------------------------
+
+    def finalize(self) -> MoneqResult:
+        """Stop collection, write output files, report overhead."""
+        self._ensure_live()
+        self.tags.require_all_closed()
+        self._finalized = True
+        self._timer.cancel()
+        t_end = self.queue.clock.now
+        runtime = t_end - self.t_start
+        for agent in self.agents:
+            agent.backend.on_session_stop(t_end)
+
+        finalize_cost = finalize_time_s(len(self.agents))
+        self.queue.clock.advance(finalize_cost)
+
+        markers = self.tags.markers()
+        agent_files: dict[str, str] = {}
+        traces: dict[str, TraceSet] = {}
+        collection_cost = 0.0
+        for agent in self.agents:
+            filled = agent.filled()
+            agent_files[f"{sanitize_label(agent.backend.label)}.dat"] = render_agent_file(
+                agent.backend.label, agent.backend.platform,
+                agent.backend.fields(), filled, markers,
+            )
+            trace_set = TraceSet()
+            for name in agent.backend.fields():
+                units = "W" if name.endswith("_w") else ""
+                trace_set.add(name, TraceSeries(
+                    filled["time_s"].copy(), filled[name].copy(), name, units,
+                ))
+            traces[agent.backend.label] = trace_set
+            collection_cost = max(
+                collection_cost, agent.count * agent.backend.query_latency_s
+            )
+
+        paths = write_outputs(self.vfs, self.config.output_dir, agent_files)
+        max_fields = max(len(agent.backend.fields()) for agent in self.agents)
+        overhead = OverheadReport(
+            application_runtime_s=runtime,
+            initialize_s=self._init_cost,
+            finalize_s=finalize_cost,
+            collection_s=collection_cost,
+            ticks=self.ticks,
+            node_count=self.node_count,
+            agent_count=len(self.agents),
+            memory_bytes_per_agent=self.config.memory_bytes_per_agent(max_fields),
+        )
+        return MoneqResult(
+            traces=traces, overhead=overhead, output_paths=paths,
+            tags=list(self.tags.closed),
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _ensure_live(self) -> None:
+        if self._finalized:
+            raise MoneqStateError("session already finalized")
+
+    def tag(self, name: str):
+        """Context manager sugar over start/end tags."""
+        return _TagContext(self, name)
+
+
+class _TagContext:
+    def __init__(self, session: MoneqSession, name: str):
+        self.session = session
+        self.name = name
+
+    def __enter__(self):
+        self.session.start_tag(self.name)
+        return self
+
+    def __exit__(self, *exc):
+        self.session.end_tag(self.name)

@@ -1,0 +1,67 @@
+"""Tagging — named profiling sections.
+
+"This feature allows for sections of code to be wrapped in start/end
+tags which inject special markers in the output files for later
+processing. ...  because the injection happens after the program has
+completed, the overhead of tagging is almost negligible."  (paper §III)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MoneqStateError
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A closed tag: name plus its [start, end] window."""
+
+    name: str
+    t_start: float
+    t_end: float
+
+    def __post_init__(self):
+        if self.t_end < self.t_start:
+            raise MoneqStateError(
+                f"tag {self.name!r} closed before it opened "
+                f"({self.t_end} < {self.t_start})"
+            )
+
+
+@dataclass
+class TagSet:
+    """Open/closed tag bookkeeping for one session."""
+
+    _open: dict[str, float] = field(default_factory=dict)
+    closed: list[Tag] = field(default_factory=list)
+
+    def start(self, name: str, t: float) -> None:
+        if name in self._open:
+            raise MoneqStateError(f"tag {name!r} already open")
+        self._open[name] = t
+
+    def end(self, name: str, t: float) -> None:
+        t_start = self._open.pop(name, None)
+        if t_start is None:
+            raise MoneqStateError(f"tag {name!r} is not open")
+        self.closed.append(Tag(name, t_start, t))
+
+    @property
+    def open_names(self) -> list[str]:
+        return sorted(self._open)
+
+    def require_all_closed(self) -> None:
+        if self._open:
+            raise MoneqStateError(
+                f"tags still open at finalize: {self.open_names}"
+            )
+
+    def markers(self) -> list[tuple[float, str]]:
+        """(time, marker-line) pairs, ready for post-run injection into
+        the output files in time order."""
+        events: list[tuple[float, str]] = []
+        for tag in self.closed:
+            events.append((tag.t_start, f"#TAG_START {tag.name} {tag.t_start:.6f}"))
+            events.append((tag.t_end, f"#TAG_END {tag.name} {tag.t_end:.6f}"))
+        return sorted(events)

@@ -1,0 +1,23 @@
+"""Shared device-model machinery.
+
+Every simulated device (CPU package, GPU board, Phi card, BG/Q node
+card) composes the same three pieces:
+
+* a :class:`LoadBoard` — the set of workloads currently scheduled on the
+  device, summed into per-component utilization;
+* a :class:`ComponentPowerModel` — idle + per-component dynamic watts,
+  turning utilization into true power signals;
+* sensors from :mod:`repro.sim.sensor` sampling those signals through
+  each vendor's particular window (update period, noise, quantization).
+"""
+
+from repro.devices.load import LoadBoard, UtilizationSignal
+from repro.devices.power import ComponentPowerModel, LimitedSignal, ThermalModel
+
+__all__ = [
+    "LoadBoard",
+    "UtilizationSignal",
+    "ComponentPowerModel",
+    "LimitedSignal",
+    "ThermalModel",
+]

@@ -1,0 +1,293 @@
+"""EXPERIMENTS.md generator.
+
+Runs every experiment, collects paper-vs-measured pairs, and renders
+the markdown report the repository ships.  Regenerate with::
+
+    python -m repro report > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import (
+    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+    overheads, rapl_overflow, table1, table2, table3,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """One experiment's paper-vs-measured block."""
+
+    exp_id: str
+    title: str
+    bench: str
+    rows: list[tuple[str, str, str]]  # (quantity, paper, measured)
+    notes: str = ""
+
+
+def _t1() -> ExperimentReport:
+    result = table1.run()
+    counts = result.availability_counts
+    return ExperimentReport(
+        "Table I", "Environmental data available per platform",
+        "benchmarks/bench_table1.py",
+        [
+            ("universal data points", "total power consumption only",
+             ", ".join(result.universal_items)),
+            ("platform breadth order", "Phi > NVML > BG/Q > RAPL (implied)",
+             " > ".join(sorted(counts, key=counts.get, reverse=True))),
+        ],
+        notes=("The paper's checkmark glyphs did not survive the text "
+               "extraction; the per-cell reconstruction follows the paper's "
+               "prose plus the vendor documentation each simulator encodes."),
+    )
+
+
+def _t2() -> ExperimentReport:
+    result = table2.run()
+    return ExperimentReport(
+        "Table II", "Available RAPL sensors", "benchmarks/bench_table2.py",
+        [
+            ("domains", "PKG, PP0, PP1, DRAM",
+             ", ".join(r[0] for r in result.rows)),
+            ("counters live", "(implied)", str(all(result.live_counters.values()))),
+        ],
+    )
+
+
+def _t3() -> ExperimentReport:
+    result = table3.run()
+    paper = {
+        "Application Runtime": (202.78, 202.73, 202.74),
+        "Time for Initialization": (0.0027, 0.0032, 0.0033),
+        "Time for Finalize": (0.1510, 0.1550, 0.3347),
+        "Time for Collection": (0.3871, 0.3871, 0.3871),
+        "Total Time for MonEQ": (0.5409, 0.5455, 0.7251),
+    }
+    rows = []
+    for name, paper_vals in paper.items():
+        measured = result.row(name)
+        rows.append((
+            name,
+            " / ".join(f"{v:.4f}" for v in paper_vals),
+            " / ".join(f"{measured[n]:.4f}" for n in (32, 512, 1024)),
+        ))
+    rows.append(("total overhead @1K", "~0.4 % of runtime",
+                 f"{result.reports[1024].percent_of_runtime:.2f} %"))
+    return ExperimentReport(
+        "Table III", "MonEQ time overhead on Mira (32/512/1024 nodes, s)",
+        "benchmarks/bench_table3.py", rows,
+    )
+
+
+def _f1() -> ExperimentReport:
+    result = fig1.run()
+    return ExperimentReport(
+        "Figure 1", "MMPS power at the bulk power modules",
+        "benchmarks/bench_fig1.py",
+        [
+            ("idle shelf", "~800 W, visible before/after job",
+             f"{result.idle.idle_level:.0f} W, visible={result.idle.visible}"),
+            ("job plateau", "~1600-1800 W", f"{result.idle.active_level:.0f} W"),
+            ("samples", "handful at ~4-5 min spacing",
+             f"{result.samples} at {result.poll_interval_s:.0f} s"),
+        ],
+    )
+
+
+def _f2() -> ExperimentReport:
+    result = fig2.run()
+    return ExperimentReport(
+        "Figure 2", "MMPS via MonEQ: 7 domains at 560 ms",
+        "benchmarks/bench_fig2.py",
+        [
+            ("domains", "7 (chip core largest)",
+             f"{len(result.domains)}; largest = "
+             f"{max(result.domains.names, key=lambda n: result.domains[n].mean())}"),
+            ("total vs BPM", "matches in total power",
+             f"{100 * result.agreement_with_bpm.relative_difference:.1f} % apart"),
+            ("idle period", "no longer visible",
+             f"visible={result.idle_samples_present}"),
+            ("data volume", "many more points than BPM",
+             f"{result.samples} samples"),
+        ],
+    )
+
+
+def _f3() -> ExperimentReport:
+    result = fig3.run()
+    return ExperimentReport(
+        "Figure 3", "RAPL package power of Gaussian elimination (100 ms)",
+        "benchmarks/bench_fig3.py",
+        [
+            ("idle shelf", "visible both ends",
+             f"head {result.idle_head_w:.1f} W / tail {result.idle_tail_w:.1f} W"),
+            ("plateau", "~45-50 W", f"{result.plateau_w:.1f} W"),
+            ("rhythmic drop", "~5 W", f"{result.drop_depth_w:.1f} W "
+             f"every {result.drop_period_s:.1f} s"),
+            ("tiny spikes", "between drops", f"+{result.spike_height_w:.1f} W"),
+        ],
+    )
+
+
+def _f4() -> ExperimentReport:
+    result = fig4.run()
+    return ExperimentReport(
+        "Figure 4", "K20 NOOP power ramp (100 ms)", "benchmarks/bench_fig4.py",
+        [
+            ("start -> level", "~44-46 -> ~55 W",
+             f"{result.start_w:.1f} -> {result.level_w:.1f} W"),
+            ("ramp duration", "~5 s", f"{result.time_to_level_s:.1f} s"),
+        ],
+    )
+
+
+def _f5() -> ExperimentReport:
+    result = fig5.run()
+    return ExperimentReport(
+        "Figure 5", "K20 vector-add power + temperature",
+        "benchmarks/bench_fig5.py",
+        [
+            ("first ~10 s", "GPU unloaded (host datagen)",
+             f"{result.datagen_mean_w:.1f} W"),
+            ("compute plateau", "~125-150 W", f"{result.compute_mean_w:.1f} W"),
+            ("temperature", "steady climb ~40 -> ~65 C",
+             f"{result.temp_start_c:.1f} -> {result.temp_end_c:.1f} C, "
+             f"{100 * result.temp_monotone_fraction:.0f} % rising"),
+        ],
+    )
+
+
+def _f6() -> ExperimentReport:
+    result = fig6.run()
+    return ExperimentReport(
+        "Figure 6", "Phi control-panel software architecture",
+        "benchmarks/bench_fig6.py",
+        [
+            ("paths", "in-band, out-of-band, MICRAS all present",
+             f"reachable: {result.path_exists}"),
+            ("SCIF symmetry", "same interfaces host and card",
+             str(result.symmetric_scif)),
+            ("per-query costs", "(measured elsewhere in paper)",
+             ", ".join(f"{k}={1000 * v:.2f} ms"
+                       for k, v in result.path_costs.items())),
+        ],
+        notes="A diagram has no data series; the reproduction checks the "
+              "graph structure and path costs instead.",
+    )
+
+
+def _f7() -> ExperimentReport:
+    result = fig7.run()
+    return ExperimentReport(
+        "Figure 7", "Phi power boxplot: SysMgmt API vs daemon",
+        "benchmarks/bench_fig7.py",
+        [
+            ("API median", "~115.5-117 W band", f"{result.api_box.median:.2f} W"),
+            ("daemon median", "~113-115 W band", f"{result.daemon_box.median:.2f} W"),
+            ("difference", "slight but statistically significant",
+             f"{result.ttest.mean_difference:+.2f} W, p={result.ttest.pvalue:.1e}"),
+        ],
+    )
+
+
+def _f8() -> ExperimentReport:
+    result = fig8.run()
+    return ExperimentReport(
+        "Figure 8", "Sum power, Gaussian elimination on 128 Stampede Phis",
+        "benchmarks/bench_fig8.py",
+        [
+            ("datagen phase", "~first 100 s, low",
+             f"{result.datagen_mean_w / 1e3:.1f} kW"),
+            ("compute phase", "rises toward ~25 kW",
+             f"{result.compute_mean_w / 1e3:.1f} kW"),
+            ("transition", "visible where generation stops",
+             f"at {result.compute_start_s:.0f} s, "
+             f"{result.compute_mean_w / result.datagen_mean_w:.2f}x jump"),
+        ],
+    )
+
+
+def _oh() -> ExperimentReport:
+    result = overheads.run()
+    paper_ms = {"bgq-emon": 1.10, "rapl-msr": 0.03, "nvml": 1.3,
+                "phi-sysmgmt": 14.2, "phi-micras": 0.04}
+    rows = [
+        (result.costs[key].mechanism, f"{paper_ms[key]} ms",
+         f"{1000 * result.costs[key].per_query_s:.3f} ms")
+        for key in paper_ms
+    ]
+    rows.append(("duty overheads", "BG/Q 0.19 %, NVML 1.25 %, Phi API ~14 %",
+                 f"BG/Q {result.costs['bgq-emon'].overhead_percent:.2f} %, "
+                 f"NVML {result.costs['nvml'].overhead_percent:.2f} %, "
+                 f"Phi API {result.costs['phi-sysmgmt'].overhead_percent:.1f} %"))
+    return ExperimentReport(
+        "§II text", "Per-query collection overheads",
+        "benchmarks/bench_overheads.py", rows,
+    )
+
+
+def _ro() -> ExperimentReport:
+    result = rapl_overflow.run()
+    bad = [p for p in result.points if p.interval_s >= 70.0]
+    return ExperimentReport(
+        "§II-B text", "RAPL counter overflow past ~60 s sampling",
+        "benchmarks/bench_rapl_overflow.py",
+        [
+            ("wrap period @1 kW", "'about 60 seconds'",
+             f"{result.wrap_period_s:.1f} s"),
+            ("<= 65 s sampling", "accurate", "max error "
+             f"{max(p.relative_error for p in result.points if p.interval_s <= 65.0):.2%}"),
+            (">= 70 s sampling", "erroneous data",
+             "errors " + ", ".join(f"{p.relative_error:.0%}" for p in bad)),
+        ],
+    )
+
+
+ALL_REPORTS = [_t1, _t2, _t3, _f1, _f2, _f3, _f4, _f5, _f6, _f7, _f8, _oh, _ro]
+
+
+def generate_markdown() -> str:
+    """Run everything; render the EXPERIMENTS.md body."""
+    blocks = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Regenerated by `python -m repro report`.  Absolute watts come from",
+        "behavioural simulators, not the authors' testbeds; the claims under",
+        "test are the *shapes*: who wins, by what rough factor, and where",
+        "the crossovers fall.  Each block names the benchmark that",
+        "regenerates it (`pytest <bench> --benchmark-only -s`).",
+        "",
+    ]
+    for factory in ALL_REPORTS:
+        report = factory()
+        blocks.append(f"## {report.exp_id} — {report.title}")
+        blocks.append("")
+        blocks.append(f"Bench: `{report.bench}`")
+        blocks.append("")
+        blocks.append("| quantity | paper | measured |")
+        blocks.append("|---|---|---|")
+        for quantity, paper, measured in report.rows:
+            blocks.append(f"| {quantity} | {paper} | {measured} |")
+        if report.notes:
+            blocks.append("")
+            blocks.append(f"*{report.notes}*")
+        blocks.append("")
+    blocks.append("## Modeling assumptions flagged as such")
+    blocks.append("")
+    blocks.append("- perf_event RAPL query cost (0.10 ms) is modeled, not from the "
+                  "paper — the authors lacked a >=3.14 kernel; only the *ordering* "
+                  "(slower than raw MSR) is asserted.")
+    blocks.append("- The environmental-database ingest ceiling is sized so a full "
+                  "Mira saturates below 60 s polling and fits at ~4 minutes, "
+                  "matching the paper's capacity argument qualitatively.")
+    blocks.append("- MonEQ finalize I/O contends past 16 concurrent agent files; "
+                  "this reproduces Table III's finalize jump at 1024 nodes.")
+    blocks.append("")
+    return "\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    print(generate_markdown())

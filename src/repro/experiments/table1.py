@@ -1,0 +1,53 @@
+"""Table I — the cross-platform sensor availability matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.capability import (
+    PLATFORM_ORDER,
+    TABLE1_ROWS,
+    Availability,
+    capability_matrix,
+    render_capability_table,
+    universal_rows,
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The matrix plus the derived headline facts."""
+
+    rendered: str
+    availability_counts: dict[str, int]
+    universal_items: list[str]
+
+    @property
+    def only_universal_is_total_power(self) -> bool:
+        """The paper's conclusion-section claim."""
+        return self.universal_items == ["Total Power Consumption (Watts)/Total"]
+
+
+def run() -> Table1Result:
+    """Regenerate Table I from the simulators' declared capabilities."""
+    matrix = capability_matrix()
+    counts = {
+        platform: sum(
+            matrix[platform].cell(row) is Availability.AVAILABLE
+            for row in TABLE1_ROWS
+        )
+        for platform in PLATFORM_ORDER
+    }
+    return Table1Result(
+        rendered=render_capability_table(),
+        availability_counts=counts,
+        universal_items=[row.key for row in universal_rows()],
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print("Table I: environmental data available per platform\n")
+    print(result.rendered)
+    print(f"\nAvailable counts: {result.availability_counts}")
+    print(f"Universal data points: {result.universal_items}")

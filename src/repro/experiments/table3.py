@@ -1,0 +1,82 @@
+"""Table III — MonEQ time overhead on Mira at 32/512/1024 nodes.
+
+The toy application runs for exactly the same time regardless of scale;
+MonEQ profiles it through the EMON backend at the BG/Q minimum interval
+(560 ms).  One agent covers one node card (32 nodes), so the three
+scales use 1, 16 and 32 agents.  Expected shape (paper values):
+
+======================  ========  =========  =========
+row                     32 nodes  512 nodes  1024 nodes
+======================  ========  =========  =========
+Application Runtime      202.78    202.73     202.74
+Time for Initialization  0.0027    0.0032     0.0033
+Time for Finalize        0.1510    0.1550     0.3347
+Time for Collection      0.3871    0.3871     0.3871
+Total Time for MonEQ     0.5409    0.5455     0.7251
+======================  ========  =========  =========
+
+Init and collection are scale-(in)sensitive exactly as the paper
+argues; finalize jumps once the agent-file count exceeds the I/O
+servers.  Total overhead stays ~0.4 % at the 1K scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.bgq.machine import BgqMachine
+from repro.core.moneq.backends import BgqEmonBackend
+from repro.core.moneq.config import MoneqConfig
+from repro.core.moneq.overhead import OverheadReport
+from repro.core.moneq.session import MoneqSession
+from repro.sim.rng import RngRegistry
+from repro.workloads.toy import TABLE3_RUNTIME_S, FixedRuntimeToyWorkload
+
+#: The paper's three scales.
+SCALES = (32, 512, 1024)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """One overhead report per scale."""
+
+    reports: dict[int, OverheadReport]
+
+    def row(self, name: str) -> dict[int, float]:
+        return {scale: report.as_table_row()[name]
+                for scale, report in self.reports.items()}
+
+
+def run_scale(node_count: int, seed: int = 0x7AB1E3) -> OverheadReport:
+    """Profile the toy app on ``node_count`` nodes of a BG/Q rack."""
+    machine = BgqMachine(racks=1, rng=RngRegistry(seed), start_poller=False)
+    boards = machine.run_job(FixedRuntimeToyWorkload(), node_count, t_start=0.0)
+    backends = [BgqEmonBackend(machine.emon(b.location)) for b in boards]
+    session = MoneqSession(
+        backends, machine.events,
+        config=MoneqConfig(polling_interval_s=0.560),
+        node_count=node_count,
+    )
+    machine.events.run_until(session.t_start + TABLE3_RUNTIME_S)
+    return session.finalize().overhead
+
+
+def run(scales: tuple[int, ...] = SCALES) -> Table3Result:
+    """Regenerate Table III."""
+    return Table3Result(reports={n: run_scale(n) for n in scales})
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    names = ["Application Runtime", "Time for Initialization",
+             "Time for Finalize", "Time for Collection", "Total Time for MonEQ"]
+    rows = [[name] + [result.reports[n].as_table_row()[name] for n in SCALES]
+            for name in names]
+    print(format_table(
+        ["(seconds)"] + [f"{n} Nodes" for n in SCALES], rows,
+        title="Table III: time overhead for MonEQ on Mira",
+    ))
+    pct = result.reports[1024].percent_of_runtime
+    print(f"\nTotal overhead at 1024 nodes: {pct:.2f}% of runtime "
+          f"(paper: ~0.4%)")

@@ -1,0 +1,29 @@
+"""Host substrate: virtual filesystem, permissions, processes, nodes.
+
+The paper's mechanisms differ in *where the data surfaces*: RAPL behind a
+root-only character device (``/dev/cpu/*/msr``), the Xeon Phi MICRAS
+daemon behind sysfs-style pseudo-files, NVML behind a user library, BG/Q
+behind a site database.  This package provides the POSIX-ish scaffolding
+— files, modes, uids, processes — those access paths are built on.
+"""
+
+from repro.host.permissions import Credentials, ROOT, USER
+from repro.host.vfs import FileKind, VirtualFileSystem
+from repro.host.process import Process, ProcessTable
+from repro.host.node import Node
+from repro.host.cluster import Cluster
+from repro.host.kernel import Kernel, KernelVersion
+
+__all__ = [
+    "Credentials",
+    "ROOT",
+    "USER",
+    "VirtualFileSystem",
+    "FileKind",
+    "Process",
+    "ProcessTable",
+    "Node",
+    "Cluster",
+    "Kernel",
+    "KernelVersion",
+]

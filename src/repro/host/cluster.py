@@ -1,0 +1,82 @@
+"""Clusters of nodes.
+
+Provides the machine-room scaffolding for the scale experiments: the
+Stampede slice used for Figure 8 (Dell PowerEdge nodes, 2x Sandy Bridge
+Xeons + 1 Xeon Phi each) and generic homogeneous clusters.  All nodes of
+a cluster share one virtual clock so cross-node sums are well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import ConfigError
+from repro.host.node import Node
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import RngRegistry
+
+
+class Cluster:
+    """A named collection of nodes sharing a clock and RNG namespace."""
+
+    def __init__(self, name: str, rng: RngRegistry | None = None,
+                 clock: VirtualClock | None = None):
+        self.name = name
+        self.rng = rng if rng is not None else RngRegistry()
+        self.clock = clock if clock is not None else VirtualClock()
+        self._nodes: list[Node] = []
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes)
+
+    def node(self, index: int) -> Node:
+        return self._nodes[index]
+
+    def add_node(self, node: Node) -> Node:
+        self._nodes.append(node)
+        return node
+
+    def populate(
+        self,
+        count: int,
+        factory: Callable[[str, RngRegistry, VirtualClock], Node],
+        hostname_format: str = "{name}-{index:04d}",
+    ) -> list[Node]:
+        """Create ``count`` nodes via ``factory(hostname, rng, clock)``.
+
+        Each node gets a forked RNG namespace so adding nodes never
+        perturbs the sensors of existing ones.
+        """
+        if count <= 0:
+            raise ConfigError(f"node count must be positive, got {count}")
+        created = []
+        for i in range(len(self._nodes), len(self._nodes) + count):
+            hostname = hostname_format.format(name=self.name, index=i)
+            node = factory(hostname, self.rng.fork(hostname), self.clock)
+            self._nodes.append(node)
+            created.append(node)
+        return created
+
+    def devices(self, kind: str) -> list[object]:
+        """All devices of a kind across the cluster, node order."""
+        out: list[object] = []
+        for node in self._nodes:
+            out.extend(node.devices(kind))
+        return out
+
+    def run_until(self, t: float) -> None:
+        """Advance every node's event queue to virtual time ``t``.
+
+        Nodes share the cluster clock, so queues are drained in node
+        order per time step; device models are independent across nodes,
+        which makes this ordering immaterial to results.
+        """
+        for node in self._nodes:
+            node.run_until(t)

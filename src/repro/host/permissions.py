@@ -1,0 +1,68 @@
+"""POSIX-style credentials and mode checks.
+
+The paper's RAPL discussion hinges on a permission gate: "the MSR driver
+must be given the correct read-only, root-only access before it is
+accessible by any process running on the system."  We model the minimum
+POSIX machinery to reproduce that gate: uid/gid credentials and
+owner/group/other rwx mode bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AccessDeniedError
+
+#: Mode bit masks, octal as in chmod.
+R_OK, W_OK, X_OK = 4, 2, 1
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """A (uid, gid) pair identifying who is performing an operation."""
+
+    uid: int
+    gid: int = 0
+    username: str = ""
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+
+#: The superuser.
+ROOT = Credentials(uid=0, gid=0, username="root")
+#: An unprivileged default user (the profiling application's identity).
+USER = Credentials(uid=1000, gid=1000, username="hpcuser")
+
+
+def mode_allows(mode: int, owner_uid: int, owner_gid: int, creds: Credentials, want: int) -> bool:
+    """POSIX access check: root passes everything; otherwise the relevant
+    owner/group/other triplet must include all bits in ``want``."""
+    if creds.is_root:
+        return True
+    if creds.uid == owner_uid:
+        triplet = (mode >> 6) & 7
+    elif creds.gid == owner_gid:
+        triplet = (mode >> 3) & 7
+    else:
+        triplet = mode & 7
+    return (triplet & want) == want
+
+
+def check_access(
+    mode: int, owner_uid: int, owner_gid: int, creds: Credentials, want: int, path: str
+) -> None:
+    """Raise :class:`AccessDeniedError` when the check fails."""
+    if not mode_allows(mode, owner_uid, owner_gid, creds, want):
+        verbs = []
+        if want & R_OK:
+            verbs.append("read")
+        if want & W_OK:
+            verbs.append("write")
+        if want & X_OK:
+            verbs.append("execute")
+        raise AccessDeniedError(
+            f"uid {creds.uid} may not {'/'.join(verbs) or 'access'} {path} "
+            f"(mode {mode:o}, owner uid {owner_uid})"
+        )

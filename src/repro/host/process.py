@@ -1,0 +1,72 @@
+"""Simulated processes.
+
+A :class:`Process` carries the identity (credentials) under which file
+opens and driver calls are made, and accumulates the virtual CPU time
+charged to it — which is how collection overhead becomes visible: MonEQ's
+periodic handler charges its per-query latency to the *application's*
+process, while the MICRAS daemon charges the card-side daemon process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.host.permissions import Credentials, USER
+
+
+class ProcessError(ReproError):
+    """Process-table misuse (double exit, unknown pid...)."""
+
+
+@dataclass
+class Process:
+    """A simulated OS process."""
+
+    pid: int
+    name: str
+    creds: Credentials
+    cpu_seconds: float = 0.0
+    alive: bool = True
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def charge(self, seconds: float) -> None:
+        """Account virtual CPU time to this process."""
+        if seconds < 0.0:
+            raise ProcessError(f"cannot charge negative time {seconds}")
+        if not self.alive:
+            raise ProcessError(f"cannot charge exited process {self.pid} ({self.name})")
+        self.cpu_seconds += seconds
+
+
+class ProcessTable:
+    """Per-node process table."""
+
+    def __init__(self):
+        self._pids = itertools.count(1)
+        self._procs: dict[int, Process] = {}
+
+    def spawn(self, name: str, creds: Credentials = USER) -> Process:
+        """Create a new live process."""
+        proc = Process(pid=next(self._pids), name=name, creds=creds)
+        self._procs[proc.pid] = proc
+        return proc
+
+    def get(self, pid: int) -> Process:
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise ProcessError(f"no such pid {pid}") from None
+
+    def exit(self, pid: int) -> None:
+        proc = self.get(pid)
+        if not proc.alive:
+            raise ProcessError(f"pid {pid} already exited")
+        proc.alive = False
+
+    def living(self) -> list[Process]:
+        return [p for p in self._procs.values() if p.alive]
+
+    def by_name(self, name: str) -> list[Process]:
+        return [p for p in self._procs.values() if p.name == name]

@@ -1,0 +1,328 @@
+"""Virtual filesystem with dynamic pseudo-files and character devices.
+
+Three of the four mechanisms surface data through the filesystem:
+
+* RAPL's msr driver creates ``/dev/cpu/<n>/msr`` character devices whose
+  reads are 8-byte register fetches at a seek offset;
+* the Xeon Phi MICRAS daemon mounts text pseudo-files on a sysfs-like
+  virtual filesystem ("reading the appropriate file and parsing the
+  data");
+* MonEQ writes its per-node output files.
+
+The VFS supports regular files, directories, *dynamic* files whose
+content is produced by a provider callback at open time (sysfs), and
+character devices with positional read semantics (msr).  All opens are
+permission-checked against :mod:`repro.host.permissions`.
+"""
+
+from __future__ import annotations
+
+import enum
+import posixpath
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import (
+    FileExistsVfsError,
+    FileNotFoundVfsError,
+    IsADirectoryVfsError,
+    NotADirectoryVfsError,
+    VfsError,
+)
+from repro.host.permissions import R_OK, ROOT, W_OK, Credentials, check_access
+
+
+class FileKind(enum.Enum):
+    """Node types the VFS supports."""
+
+    REGULAR = "regular"
+    DIRECTORY = "directory"
+    DYNAMIC = "dynamic"
+    CHARDEV = "chardev"
+
+
+class CharDevice(Protocol):
+    """Backend for a character device node."""
+
+    def pread(self, offset: int, size: int, creds: Credentials) -> bytes:
+        """Positional read (the msr driver dispatches on offset = MSR)."""
+        ...
+
+    def pwrite(self, offset: int, data: bytes, creds: Credentials) -> int:
+        """Positional write; returns bytes written."""
+        ...
+
+
+@dataclass
+class _Node:
+    kind: FileKind
+    mode: int
+    owner_uid: int = 0
+    owner_gid: int = 0
+    content: bytes = b""
+    children: dict[str, "_Node"] = field(default_factory=dict)
+    provider: Callable[[], str] | None = None
+    device: CharDevice | None = None
+
+
+def _split(path: str) -> list[str]:
+    norm = posixpath.normpath(path)
+    if not norm.startswith("/"):
+        raise VfsError(f"paths must be absolute, got {path!r}")
+    return [p for p in norm.split("/") if p]
+
+
+class FileHandle:
+    """An open file: sequential read/write plus positional ops for
+    character devices."""
+
+    def __init__(self, vfs: "VirtualFileSystem", path: str, node: _Node, creds: Credentials):
+        self._vfs = vfs
+        self.path = path
+        self._node = node
+        self._creds = creds
+        self._pos = 0
+        self._snapshot: bytes | None = None
+        self.closed = False
+
+    def _data(self) -> bytes:
+        if self._node.kind is FileKind.DYNAMIC:
+            if self._snapshot is None:
+                # sysfs semantics: content generated at first read of an
+                # open handle, stable until reopened.
+                self._snapshot = self._node.provider().encode()  # type: ignore[misc]
+            return self._snapshot
+        return self._node.content
+
+    def read(self, size: int = -1) -> bytes:
+        """Sequential read from the current position."""
+        self._ensure_open()
+        if self._node.kind is FileKind.CHARDEV:
+            raise VfsError(f"{self.path}: character devices require pread(offset, size)")
+        data = self._data()
+        end = len(data) if size < 0 else min(len(data), self._pos + size)
+        chunk = data[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def read_text(self) -> str:
+        """Whole-file text read (the MICRAS pseudo-file idiom)."""
+        return self.read().decode()
+
+    def pread(self, offset: int, size: int) -> bytes:
+        """Positional read (chardev-only)."""
+        self._ensure_open()
+        if self._node.kind is not FileKind.CHARDEV:
+            raise VfsError(f"{self.path}: pread only supported on character devices")
+        return self._node.device.pread(offset, size, self._creds)  # type: ignore[union-attr]
+
+    def pwrite(self, offset: int, data: bytes) -> int:
+        """Positional write (chardev-only)."""
+        self._ensure_open()
+        if self._node.kind is not FileKind.CHARDEV:
+            raise VfsError(f"{self.path}: pwrite only supported on character devices")
+        return self._node.device.pwrite(offset, data, self._creds)  # type: ignore[union-attr]
+
+    def write(self, data: bytes) -> int:
+        """Append to a regular file."""
+        self._ensure_open()
+        if self._node.kind is not FileKind.REGULAR:
+            raise VfsError(f"{self.path}: cannot write a {self._node.kind.value} file")
+        self._node.content += data
+        return len(data)
+
+    def close(self) -> None:
+        self.closed = True
+        self._snapshot = None
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise VfsError(f"{self.path}: I/O on closed file")
+
+
+class VirtualFileSystem:
+    """An in-memory POSIX-flavoured filesystem."""
+
+    def __init__(self):
+        self._root = _Node(kind=FileKind.DIRECTORY, mode=0o755)
+
+    # -- node management ----------------------------------------------------
+
+    def mkdir(self, path: str, mode: int = 0o755, parents: bool = False,
+              creds: Credentials = ROOT) -> None:
+        """Create a directory; with ``parents`` create missing ancestors."""
+        parts = _split(path)
+        node = self._root
+        for i, part in enumerate(parts):
+            child = node.children.get(part)
+            last = i == len(parts) - 1
+            if child is None:
+                if not last and not parents:
+                    raise FileNotFoundVfsError(f"missing ancestor of {path}")
+                child = _Node(kind=FileKind.DIRECTORY, mode=mode,
+                              owner_uid=creds.uid, owner_gid=creds.gid)
+                node.children[part] = child
+            elif last:
+                raise FileExistsVfsError(path)
+            elif child.kind is not FileKind.DIRECTORY:
+                raise NotADirectoryVfsError(f"{part} in {path}")
+            node = child
+
+    def create_file(self, path: str, content: bytes = b"", mode: int = 0o644,
+                    creds: Credentials = ROOT, exist_ok: bool = False) -> None:
+        """Create (or with ``exist_ok`` replace) a regular file."""
+        parent, name = self._parent_of(path)
+        existing = parent.children.get(name)
+        if existing is not None:
+            if existing.kind is FileKind.DIRECTORY:
+                raise IsADirectoryVfsError(path)
+            if not exist_ok:
+                raise FileExistsVfsError(path)
+        parent.children[name] = _Node(
+            kind=FileKind.REGULAR, mode=mode, content=content,
+            owner_uid=creds.uid, owner_gid=creds.gid,
+        )
+
+    def create_dynamic(self, path: str, provider: Callable[[], str],
+                       mode: int = 0o444, creds: Credentials = ROOT) -> None:
+        """Create a sysfs-style pseudo-file backed by a provider callback."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise FileExistsVfsError(path)
+        parent.children[name] = _Node(
+            kind=FileKind.DYNAMIC, mode=mode, provider=provider,
+            owner_uid=creds.uid, owner_gid=creds.gid,
+        )
+
+    def create_chardev(self, path: str, device: CharDevice, mode: int = 0o600,
+                       creds: Credentials = ROOT) -> None:
+        """Create a character-device node (e.g. ``/dev/cpu/0/msr``)."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise FileExistsVfsError(path)
+        parent.children[name] = _Node(
+            kind=FileKind.CHARDEV, mode=mode, device=device,
+            owner_uid=creds.uid, owner_gid=creds.gid,
+        )
+
+    def remove(self, path: str) -> None:
+        """Unlink a file or empty directory."""
+        parent, name = self._parent_of(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise FileNotFoundVfsError(path)
+        if node.kind is FileKind.DIRECTORY and node.children:
+            raise VfsError(f"directory not empty: {path}")
+        del parent.children[name]
+
+    def chmod(self, path: str, mode: int, creds: Credentials = ROOT) -> None:
+        """Change mode bits; only root or the owner may."""
+        node = self._lookup(path)
+        if not creds.is_root and creds.uid != node.owner_uid:
+            raise VfsError(f"uid {creds.uid} may not chmod {path}")
+        node.mode = mode
+
+    def chown(self, path: str, uid: int, gid: int, creds: Credentials = ROOT) -> None:
+        """Change ownership; root only."""
+        if not creds.is_root:
+            raise VfsError("only root may chown")
+        node = self._lookup(path)
+        node.owner_uid, node.owner_gid = uid, gid
+
+    # -- queries --------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(path)
+            return True
+        except FileNotFoundVfsError:
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return self._lookup(path).kind is FileKind.DIRECTORY
+        except FileNotFoundVfsError:
+            return False
+
+    def kind(self, path: str) -> FileKind:
+        return self._lookup(path).kind
+
+    def stat_mode(self, path: str) -> int:
+        return self._lookup(path).mode
+
+    def listdir(self, path: str) -> list[str]:
+        node = self._lookup(path)
+        if node.kind is not FileKind.DIRECTORY:
+            raise NotADirectoryVfsError(path)
+        return sorted(node.children)
+
+    def walk(self, path: str = "/") -> list[str]:
+        """All file (non-directory) paths under ``path``."""
+        out: list[str] = []
+
+        def rec(prefix: str, node: _Node) -> None:
+            for name, child in sorted(node.children.items()):
+                child_path = f"{prefix.rstrip('/')}/{name}"
+                if child.kind is FileKind.DIRECTORY:
+                    rec(child_path, child)
+                else:
+                    out.append(child_path)
+
+        rec(path, self._lookup(path))
+        return out
+
+    # -- I/O --------------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r", creds: Credentials = ROOT) -> FileHandle:
+        """Open a file for 'r' or 'w' (append) access with permission
+        checks; directories are not openable."""
+        node = self._lookup(path)
+        if node.kind is FileKind.DIRECTORY:
+            raise IsADirectoryVfsError(path)
+        want = {"r": R_OK, "w": W_OK, "rw": R_OK | W_OK}.get(mode)
+        if want is None:
+            raise VfsError(f"unsupported open mode {mode!r}")
+        check_access(node.mode, node.owner_uid, node.owner_gid, creds, want, path)
+        return FileHandle(self, path, node, creds)
+
+    def read_text(self, path: str, creds: Credentials = ROOT) -> str:
+        """Convenience whole-file text read."""
+        with self.open(path, "r", creds) as fh:
+            return fh.read_text()
+
+    def write_text(self, path: str, text: str, creds: Credentials = ROOT) -> None:
+        """Create-or-replace a regular file with text content."""
+        self.create_file(path, text.encode(), creds=creds, exist_ok=True)
+
+    # -- internals --------------------------------------------------------
+
+    def _lookup(self, path: str) -> _Node:
+        node = self._root
+        for part in _split(path):
+            if node.kind is not FileKind.DIRECTORY:
+                raise NotADirectoryVfsError(path)
+            child = node.children.get(part)
+            if child is None:
+                raise FileNotFoundVfsError(path)
+            node = child
+        return node
+
+    def _parent_of(self, path: str) -> tuple[_Node, str]:
+        parts = _split(path)
+        if not parts:
+            raise VfsError("cannot operate on /")
+        parent = self._root
+        for part in parts[:-1]:
+            child = parent.children.get(part)
+            if child is None:
+                raise FileNotFoundVfsError(f"missing ancestor of {path}")
+            if child.kind is not FileKind.DIRECTORY:
+                raise NotADirectoryVfsError(f"{part} in {path}")
+            parent = child
+        return parent, parts[-1]

@@ -1,0 +1,34 @@
+"""NVIDIA Management Library (NVML) simulator.
+
+Models the NVML facts the paper measures on a K20:
+
+* power is reported for the **entire board including memory**, in
+  integer milliwatts, accurate to +/-5 W, refreshed about every 60 ms;
+* only Kepler-generation GPUs (K20/K40) support power readings at all;
+* every query crosses the PCI bus, giving ~1.3 ms per collection
+  (~1.25 % overhead at the paper's polling rate);
+* temperature, memory info, fan speed, clocks and power limits are also
+  exposed (the Table I column).
+"""
+
+from repro.nvml.device import FERMI_M2090, KEPLER_K20, KEPLER_K40, GpuDevice, GpuModel
+from repro.nvml.api import (
+    NVML_TEMPERATURE_GPU,
+    NvmlError,
+    NvmlLibrary,
+)
+from repro.nvml.pcie import PcieBus
+from repro.nvml.smi import render_smi
+
+__all__ = [
+    "GpuDevice",
+    "GpuModel",
+    "KEPLER_K20",
+    "KEPLER_K40",
+    "FERMI_M2090",
+    "NvmlLibrary",
+    "NvmlError",
+    "NVML_TEMPERATURE_GPU",
+    "PcieBus",
+    "render_smi",
+]

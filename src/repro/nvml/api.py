@@ -1,0 +1,215 @@
+"""The NVML C-API surface.
+
+Mirrors the library's shape: an explicit ``nvmlInit``/``nvmlShutdown``
+lifecycle, opaque device handles, status-code errors, and integer
+milliwatt power readings.  Every device query charges the paper's 1.3 ms
+(NVML dispatch + PCIe round trip) to the node clock and the calling
+process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.host.node import Node
+from repro.host.process import Process
+from repro.nvml.device import GpuDevice
+from repro.nvml.pcie import PcieBus
+from repro.units import watts_to_milliwatts
+
+# -- status codes (the subset the simulator can produce) --------------------
+
+NVML_SUCCESS = 0
+NVML_ERROR_UNINITIALIZED = 1
+NVML_ERROR_INVALID_ARGUMENT = 2
+NVML_ERROR_NOT_SUPPORTED = 3
+NVML_ERROR_NO_PERMISSION = 4
+NVML_ERROR_NOT_FOUND = 6
+
+#: Sensor selector for device_get_temperature.
+NVML_TEMPERATURE_GPU = 0
+
+
+class NvmlError(DeviceError):
+    """NVML failure, carrying the C status code."""
+
+    def __init__(self, code: int, message: str):
+        self.code = code
+        super().__init__(f"NVML error {code}: {message}")
+
+
+@dataclass(frozen=True)
+class NvmlMemoryInfo:
+    """nvmlMemory_t: bytes total/used/free."""
+
+    total: int
+    used: int
+    free: int
+
+
+class _DeviceHandle:
+    """Opaque handle returned by device_get_handle_by_index."""
+
+    __slots__ = ("index", "_library_epoch")
+
+    def __init__(self, index: int, epoch: int):
+        self.index = index
+        self._library_epoch = epoch
+
+
+class NvmlLibrary:
+    """A loaded NVML library instance on one node.
+
+    Parameters
+    ----------
+    node:
+        Host node; GPUs are the node's ``"gpu"`` devices.
+    software_dispatch_s:
+        Library-side cost per query; with the PCIe round trip this sums
+        to the paper's ~1.3 ms per collection.
+    """
+
+    def __init__(self, node: Node, pcie: PcieBus | None = None,
+                 software_dispatch_s: float = 0.2e-3):
+        self.node = node
+        self.pcie = pcie if pcie is not None else PcieBus()
+        self.software_dispatch_s = float(software_dispatch_s)
+        self._initialized = False
+        self._epoch = 0
+        self.process: Process | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def init(self) -> None:
+        """nvmlInit: idempotent in real NVML; we allow re-init too."""
+        self._initialized = True
+        self._epoch += 1
+
+    def shutdown(self) -> None:
+        """nvmlShutdown: handles from before become invalid."""
+        self._require_init()
+        self._initialized = False
+
+    def attach_process(self, process: Process) -> None:
+        """Account query latency to ``process``."""
+        self.process = process
+
+    @property
+    def query_latency_s(self) -> float:
+        """Per-query cost: dispatch + PCIe round trip (paper: ~1.3 ms)."""
+        return self.software_dispatch_s + self.pcie.round_trip_time()
+
+    # -- device enumeration -----------------------------------------------
+
+    def device_get_count(self) -> int:
+        self._require_init()
+        return len(self.node.devices("gpu"))
+
+    def device_get_handle_by_index(self, index: int) -> _DeviceHandle:
+        self._require_init()
+        if not 0 <= index < self.device_get_count():
+            raise NvmlError(NVML_ERROR_NOT_FOUND, f"no GPU at index {index}")
+        return _DeviceHandle(index, self._epoch)
+
+    def device_get_name(self, handle: _DeviceHandle) -> str:
+        return self._device(handle).model.name
+
+    # -- the power query the paper centers on -------------------------------
+
+    def device_get_power_usage(self, handle: _DeviceHandle) -> int:
+        """nvmlDeviceGetPowerUsage: board power in **milliwatts**.
+
+        Raises NOT_SUPPORTED on pre-Kepler parts ("the only NVIDIA GPUs
+        which support power data collection are those based on the
+        Kepler architecture").
+        """
+        device = self._device(handle)
+        if not device.model.supports_power_readings:
+            raise NvmlError(
+                NVML_ERROR_NOT_SUPPORTED,
+                f"{device.model.name} ({device.model.architecture}) has no power sensor",
+            )
+        t = self._charge_query()
+        watts = float(device.power_sensor.read(t))
+        return max(watts_to_milliwatts(watts), 0)
+
+    # -- other Table I data points ---------------------------------------
+
+    def device_get_temperature(self, handle: _DeviceHandle,
+                               sensor: int = NVML_TEMPERATURE_GPU) -> int:
+        if sensor != NVML_TEMPERATURE_GPU:
+            raise NvmlError(NVML_ERROR_INVALID_ARGUMENT, f"bad sensor {sensor}")
+        device = self._device(handle)
+        t = self._charge_query()
+        return int(round(float(device.temperature_c(t))))
+
+    def device_get_memory_info(self, handle: _DeviceHandle) -> NvmlMemoryInfo:
+        device = self._device(handle)
+        self._charge_query()
+        return NvmlMemoryInfo(
+            total=device.model.vram_bytes,
+            used=device.memory_used,
+            free=device.memory_free,
+        )
+
+    def device_get_fan_speed(self, handle: _DeviceHandle) -> int:
+        device = self._device(handle)
+        t = self._charge_query()
+        return device.fan_speed_rpm(t)
+
+    def device_get_clock_info(self, handle: _DeviceHandle, domain: str) -> int:
+        device = self._device(handle)
+        t = self._charge_query()
+        return device.clock_mhz(domain, t)
+
+    def device_get_utilization_rates(self, handle: _DeviceHandle) -> tuple[int, int]:
+        """nvmlDeviceGetUtilizationRates: (gpu %, memory %)."""
+        device = self._device(handle)
+        t = self._charge_query()
+        return device.utilization(t)
+
+    def device_get_pcie_throughput(self, handle: _DeviceHandle) -> int:
+        """nvmlDeviceGetPcieThroughput: KB/s over the link."""
+        device = self._device(handle)
+        t = self._charge_query()
+        return device.pcie_throughput_kbps(t)
+
+    def device_get_power_management_limit(self, handle: _DeviceHandle) -> int:
+        device = self._device(handle)
+        self._charge_query()
+        return watts_to_milliwatts(device.power_limit_w)
+
+    def device_set_power_management_limit(self, handle: _DeviceHandle,
+                                          limit_mw: int) -> None:
+        """Setting limits needs root, like real NVML."""
+        device = self._device(handle)
+        if self.process is not None and not self.process.creds.is_root:
+            raise NvmlError(NVML_ERROR_NO_PERMISSION,
+                            "setting power limits requires root")
+        t = self._charge_query()
+        try:
+            device.set_power_limit(limit_mw / 1e3, t)
+        except DeviceError as exc:
+            raise NvmlError(NVML_ERROR_INVALID_ARGUMENT, str(exc)) from exc
+
+    # -- internals ------------------------------------------------------------
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise NvmlError(NVML_ERROR_UNINITIALIZED, "call nvmlInit first")
+
+    def _device(self, handle: _DeviceHandle) -> GpuDevice:
+        self._require_init()
+        if handle._library_epoch != self._epoch:
+            raise NvmlError(NVML_ERROR_UNINITIALIZED,
+                            "handle predates the current nvmlInit")
+        return self.node.device("gpu", handle.index)
+
+    def _charge_query(self) -> float:
+        """Advance the clock by one query cost; returns completion time."""
+        cost = self.query_latency_s
+        self.node.clock.advance(cost)
+        if self.process is not None and self.process.alive:
+            self.process.charge(cost)
+        return self.node.clock.now

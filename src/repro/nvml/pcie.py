@@ -1,0 +1,46 @@
+"""PCI Express bus model.
+
+NVML queries "must also transfer data across the PCI bus" (paper §II-C),
+which dominates their 1.3 ms cost.  The model is a standard
+latency + size/bandwidth pipe; NVML management transactions are small,
+so latency dominates, while the vector-add H2D copy in Figure 5 is
+bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Effective per-direction bandwidth of PCIe gen2 x16 (bytes/second).
+GEN2_X16_BANDWIDTH = 6.0e9
+
+
+class PcieBus:
+    """A PCIe link with fixed per-transaction latency.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way transaction setup latency (driver + DMA doorbell).
+    bandwidth_Bps:
+        Sustained payload bandwidth.
+    """
+
+    def __init__(self, latency_s: float = 0.55e-3,
+                 bandwidth_Bps: float = GEN2_X16_BANDWIDTH):
+        if latency_s < 0.0:
+            raise ConfigError(f"latency must be non-negative, got {latency_s}")
+        if bandwidth_Bps <= 0.0:
+            raise ConfigError(f"bandwidth must be positive, got {bandwidth_Bps}")
+        self.latency_s = float(latency_s)
+        self.bandwidth_Bps = float(bandwidth_Bps)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds for a one-way transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+    def round_trip_time(self, request_bytes: int = 64, reply_bytes: int = 64) -> float:
+        """Seconds for a small request/reply management transaction."""
+        return self.transfer_time(request_bytes) + self.transfer_time(reply_bytes)

@@ -1,0 +1,43 @@
+"""nvidia-smi-style status rendering.
+
+The human face of NVML: a text summary of every GPU on a node — name,
+temperature, power/cap, memory, utilization — built purely from the
+public :class:`~repro.nvml.api.NvmlLibrary` queries, so rendering one
+costs exactly the documented per-query latencies.
+"""
+
+from __future__ import annotations
+
+from repro.nvml.api import NvmlError, NvmlLibrary
+
+
+def render_smi(nvml: NvmlLibrary) -> str:
+    """The status table for every GPU the library can see."""
+    count = nvml.device_get_count()
+    lines = [
+        "+" + "-" * 76 + "+",
+        f"| repro-smi  (simulated NVML)  {count} device(s)".ljust(77) + "|",
+        "+" + "-" * 76 + "+",
+        "| idx  name          temp   power        memory             util gpu/mem |",
+        "+" + "-" * 76 + "+",
+    ]
+    for index in range(count):
+        handle = nvml.device_get_handle_by_index(index)
+        name = nvml.device_get_name(handle)
+        temp = nvml.device_get_temperature(handle)
+        try:
+            power_w = nvml.device_get_power_usage(handle) / 1000.0
+            cap_w = nvml.device_get_power_management_limit(handle) / 1000.0
+            power_cell = f"{power_w:6.1f}W/{cap_w:5.0f}W"
+        except NvmlError:
+            power_cell = "   N/A (pre-Kepler)"
+        memory = nvml.device_get_memory_info(handle)
+        used_mib = memory.used // (1024 * 1024)
+        total_mib = memory.total // (1024 * 1024)
+        gpu_pct, mem_pct = nvml.device_get_utilization_rates(handle)
+        lines.append(
+            f"| {index:3d}  {name:<12s}  {temp:3d}C  {power_cell:>18s}  "
+            f"{used_mib:6d}/{total_mib:6d}MiB  {gpu_pct:3d}%/{mem_pct:3d}% |"
+        )
+    lines.append("+" + "-" * 76 + "+")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Intel RAPL (Running Average Power Limit) simulator.
+
+Models the Sandy Bridge-era RAPL machinery the paper measures:
+
+* model-specific registers (MSRs) holding 32-bit energy-status counters
+  in 2^-16 J units, updated roughly every millisecond with documented
+  jitter (+/-50k cycles);
+* the four Table II domains — Package, Power Plane 0 (cores), Power
+  Plane 1 (uncore device, "not useful in server platforms") and DRAM;
+* the ``msr`` kernel driver exposing root-only character devices at
+  ``/dev/cpu/<n>/msr`` (0.03 ms per query — the fastest mechanism in the
+  paper);
+* the perf_event path, gated on kernel >= 3.14;
+* power capping via the PKG power-limit MSR.
+"""
+
+from repro.rapl.domains import RAPL_DOMAIN_TABLE, RaplDomain
+from repro.rapl.msr import (
+    MSR_DRAM_ENERGY_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_LIMIT,
+    MSR_PP0_ENERGY_STATUS,
+    MSR_PP1_ENERGY_STATUS,
+    MSR_RAPL_POWER_UNIT,
+    decode_power_limit,
+    decode_units,
+    encode_power_limit,
+    encode_units,
+)
+from repro.rapl.package import SANDY_BRIDGE, SANDY_BRIDGE_EP, CpuModel, CpuPackage
+from repro.rapl.driver import MsrDriver, install_msr_driver
+from repro.rapl.perf_event import PerfEventRapl, PERF_RAPL_EVENTS
+from repro.rapl.powercap import PowercapDriver, install_powercap_driver, read_energy_uj
+
+__all__ = [
+    "RaplDomain",
+    "RAPL_DOMAIN_TABLE",
+    "CpuPackage",
+    "CpuModel",
+    "SANDY_BRIDGE",
+    "SANDY_BRIDGE_EP",
+    "MsrDriver",
+    "install_msr_driver",
+    "PerfEventRapl",
+    "PERF_RAPL_EVENTS",
+    "PowercapDriver",
+    "install_powercap_driver",
+    "read_energy_uj",
+    "MSR_RAPL_POWER_UNIT",
+    "MSR_PKG_ENERGY_STATUS",
+    "MSR_PKG_POWER_LIMIT",
+    "MSR_PP0_ENERGY_STATUS",
+    "MSR_PP1_ENERGY_STATUS",
+    "MSR_DRAM_ENERGY_STATUS",
+    "encode_units",
+    "decode_units",
+    "encode_power_limit",
+    "decode_power_limit",
+]

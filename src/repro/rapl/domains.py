@@ -1,0 +1,61 @@
+"""RAPL domains — the paper's Table II.
+
+| Domain            | Description                                        |
+|-------------------|----------------------------------------------------|
+| Package (PKG)     | Whole CPU package.                                 |
+| Power Plane 0     | Processor cores.                                   |
+| Power Plane 1     | Uncore device power plane (integrated GPU — not    |
+|                   | useful in server platforms).                       |
+| DRAM              | Sum of the socket's DIMM power(s).                 |
+
+Scope caveats the paper stresses: metrics are for the whole socket
+(no per-core data), DRAM does not distinguish channels, and per-core
+power limits are impossible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RaplDomain(enum.Enum):
+    """The four RAPL measurement domains."""
+
+    PKG = "pkg"
+    PP0 = "pp0"
+    PP1 = "pp1"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class DomainInfo:
+    """Table II row: domain, long name, description, scope notes."""
+
+    domain: RaplDomain
+    long_name: str
+    description: str
+    per_core_resolution: bool = False
+    meaningful_on_servers: bool = True
+
+
+#: Table II of the paper, as data.
+RAPL_DOMAIN_TABLE: list[DomainInfo] = [
+    DomainInfo(RaplDomain.PKG, "Package (PKG)", "Whole CPU package."),
+    DomainInfo(RaplDomain.PP0, "Power Plane 0 (PP0)", "Processor cores."),
+    DomainInfo(
+        RaplDomain.PP1, "Power Plane 1 (PP1)",
+        "The power plane of a specific device in the uncore (such as a "
+        "integrated GPU--not useful in server platforms).",
+        meaningful_on_servers=False,
+    ),
+    DomainInfo(RaplDomain.DRAM, "DRAM", "Sum of socket's DIMM power(s)."),
+]
+
+
+def domain_info(domain: RaplDomain) -> DomainInfo:
+    """Table II row for one domain."""
+    for row in RAPL_DOMAIN_TABLE:
+        if row.domain is domain:
+            return row
+    raise KeyError(domain)  # pragma: no cover - enum is closed

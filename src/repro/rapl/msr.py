@@ -1,0 +1,142 @@
+"""MSR addresses and RAPL register encodings (Intel SDM vol. 3B).
+
+Only the registers the paper calls "useful for environmental data
+collection" are modeled; reads of other addresses fault, as real MSR
+reads of unimplemented registers do (#GP -> EIO from the msr driver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DriverError
+from repro.rapl.domains import RaplDomain
+
+# -- Architectural MSR addresses --------------------------------------------
+
+MSR_RAPL_POWER_UNIT = 0x606
+
+MSR_PKG_POWER_LIMIT = 0x610
+MSR_PKG_ENERGY_STATUS = 0x611
+MSR_PKG_POWER_INFO = 0x614
+
+MSR_DRAM_POWER_LIMIT = 0x618
+MSR_DRAM_ENERGY_STATUS = 0x619
+
+MSR_PP0_POWER_LIMIT = 0x638
+MSR_PP0_ENERGY_STATUS = 0x639
+
+MSR_PP1_POWER_LIMIT = 0x640
+MSR_PP1_ENERGY_STATUS = 0x641
+
+#: Energy-status MSR per domain.
+ENERGY_STATUS_MSR: dict[RaplDomain, int] = {
+    RaplDomain.PKG: MSR_PKG_ENERGY_STATUS,
+    RaplDomain.PP0: MSR_PP0_ENERGY_STATUS,
+    RaplDomain.PP1: MSR_PP1_ENERGY_STATUS,
+    RaplDomain.DRAM: MSR_DRAM_ENERGY_STATUS,
+}
+
+#: Power-limit MSR per domain (PKG limit is what the paper refers to as
+#: "Get/Set Power Limit").
+POWER_LIMIT_MSR: dict[RaplDomain, int] = {
+    RaplDomain.PKG: MSR_PKG_POWER_LIMIT,
+    RaplDomain.PP0: MSR_PP0_POWER_LIMIT,
+    RaplDomain.PP1: MSR_PP1_POWER_LIMIT,
+    RaplDomain.DRAM: MSR_DRAM_POWER_LIMIT,
+}
+
+
+# -- MSR_RAPL_POWER_UNIT ------------------------------------------------------
+
+@dataclass(frozen=True)
+class RaplUnits:
+    """Decoded contents of MSR_RAPL_POWER_UNIT.
+
+    Fields hold the *exponents*: power unit = 1/2^power W, energy unit =
+    1/2^energy J, time unit = 1/2^time s.  Sandy Bridge defaults are
+    (3, 16, 10): 1/8 W, ~15.3 uJ, ~976 us.
+    """
+
+    power: int = 3
+    energy: int = 16
+    time: int = 10
+
+    @property
+    def power_w(self) -> float:
+        return 2.0 ** -self.power
+
+    @property
+    def energy_j(self) -> float:
+        return 2.0 ** -self.energy
+
+    @property
+    def time_s(self) -> float:
+        return 2.0 ** -self.time
+
+
+def encode_units(units: RaplUnits) -> int:
+    """Pack a :class:`RaplUnits` into the MSR_RAPL_POWER_UNIT layout
+    (power bits 3:0, energy bits 12:8, time bits 19:16)."""
+    if not (0 <= units.power < 16 and 0 <= units.energy < 32 and 0 <= units.time < 16):
+        raise DriverError(f"unit exponents out of field range: {units}")
+    return units.power | (units.energy << 8) | (units.time << 16)
+
+
+def decode_units(raw: int) -> RaplUnits:
+    """Unpack MSR_RAPL_POWER_UNIT."""
+    return RaplUnits(
+        power=raw & 0xF,
+        energy=(raw >> 8) & 0x1F,
+        time=(raw >> 16) & 0xF,
+    )
+
+
+# -- Power-limit register (limit #1 fields only) ---------------------------
+
+_LIMIT_MASK = 0x7FFF
+_ENABLE_BIT = 1 << 15
+_CLAMP_BIT = 1 << 16
+_WINDOW_SHIFT = 17
+_WINDOW_MASK = 0x7F
+
+
+@dataclass(frozen=True)
+class PowerLimit:
+    """Decoded power-limit register: watts cap + enable + time window."""
+
+    limit_w: float
+    enabled: bool
+    window_s: float
+
+
+def encode_power_limit(limit_w: float, enabled: bool, window_s: float,
+                       units: RaplUnits) -> int:
+    """Encode limit #1 of a RAPL power-limit MSR."""
+    if limit_w < 0.0:
+        raise DriverError(f"power limit must be non-negative, got {limit_w}")
+    quanta = int(round(limit_w / units.power_w))
+    if quanta > _LIMIT_MASK:
+        raise DriverError(f"power limit {limit_w} W overflows the 15-bit field")
+    # Window encoded as a plain multiple of the time unit (the SDM's
+    # float-like Y/Z encoding adds nothing for our purposes).
+    window_quanta = int(round(window_s / units.time_s))
+    if not 0 <= window_quanta <= _WINDOW_MASK:
+        raise DriverError(f"window {window_s} s out of encodable range")
+    raw = quanta
+    if enabled:
+        raw |= _ENABLE_BIT
+    raw |= window_quanta << _WINDOW_SHIFT
+    return raw
+
+
+def decode_power_limit(raw: int, units: RaplUnits) -> PowerLimit:
+    """Decode limit #1 of a RAPL power-limit MSR."""
+    quanta = raw & _LIMIT_MASK
+    enabled = bool(raw & _ENABLE_BIT)
+    window_quanta = (raw >> _WINDOW_SHIFT) & _WINDOW_MASK
+    return PowerLimit(
+        limit_w=quanta * units.power_w,
+        enabled=enabled,
+        window_s=window_quanta * units.time_s,
+    )

@@ -1,0 +1,44 @@
+"""MPI-like SPMD runtime.
+
+MonEQ is an MPI profiling library ("status = MPI_Init(&argc, &argv);
+... status = MonEQ_Initialize();"), so the reproduction needs an SPMD
+substrate to host it.  Rank programs are Python generators that yield
+communication ops (:class:`Send`, :class:`Recv`, :class:`Barrier`,
+collectives, :class:`Compute`); the :class:`Launcher` schedules them
+deterministically over a latency/bandwidth interconnect model and
+detects deadlock.
+"""
+
+from repro.runtime.interconnect import Interconnect, BGQ_TORUS, CLUSTER_FDR_IB
+from repro.runtime.ops import (
+    ANY_SOURCE,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Recv,
+    Reduce,
+    Scatter,
+    Send,
+)
+from repro.runtime.launcher import Launcher, RankContext, RankResult
+
+__all__ = [
+    "Interconnect",
+    "BGQ_TORUS",
+    "CLUSTER_FDR_IB",
+    "Send",
+    "Recv",
+    "Barrier",
+    "Bcast",
+    "Gather",
+    "Scatter",
+    "Allreduce",
+    "Reduce",
+    "Compute",
+    "ANY_SOURCE",
+    "Launcher",
+    "RankContext",
+    "RankResult",
+]

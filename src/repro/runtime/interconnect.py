@@ -1,0 +1,71 @@
+"""Interconnect cost models.
+
+The classic postal model: a point-to-point message costs
+``latency + size/bandwidth``; tree-based collectives cost
+``ceil(log2 P)`` rounds of it.  Parameters for a BG/Q 5-D torus and an
+FDR InfiniBand cluster (Stampede-like) are provided.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+class Interconnect:
+    """Latency/bandwidth interconnect with tree collectives."""
+
+    def __init__(self, latency_s: float, bandwidth_Bps: float,
+                 per_message_overhead_s: float = 0.5e-6, name: str = "generic"):
+        if latency_s < 0.0 or per_message_overhead_s < 0.0:
+            raise ConfigError("latencies must be non-negative")
+        if bandwidth_Bps <= 0.0:
+            raise ConfigError(f"bandwidth must be positive, got {bandwidth_Bps}")
+        self.latency_s = float(latency_s)
+        self.bandwidth_Bps = float(bandwidth_Bps)
+        self.per_message_overhead_s = float(per_message_overhead_s)
+        self.name = name
+
+    def ptp_time(self, nbytes: int) -> float:
+        """One point-to-point message, send-to-delivery."""
+        if nbytes < 0:
+            raise ConfigError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+    def send_overhead(self) -> float:
+        """CPU time the sender burns injecting one message."""
+        return self.per_message_overhead_s
+
+    def injection_gap(self, nbytes: int) -> float:
+        """Minimum spacing between consecutive sends from one rank
+        (LogGP's gap): the larger of the software overhead and the wire
+        serialization time.  This is what makes large-message streams
+        bandwidth-bound, matching :meth:`messaging_rate`."""
+        if nbytes < 0:
+            raise ConfigError(f"nbytes must be non-negative, got {nbytes}")
+        return max(self.per_message_overhead_s, nbytes / self.bandwidth_Bps)
+
+    def rounds(self, ranks: int) -> int:
+        """Tree depth for a collective over ``ranks`` participants."""
+        if ranks <= 0:
+            raise ConfigError(f"ranks must be positive, got {ranks}")
+        return max(1, math.ceil(math.log2(ranks))) if ranks > 1 else 0
+
+    def collective_time(self, ranks: int, nbytes: int) -> float:
+        """Tree collective: log2(P) point-to-point rounds."""
+        return self.rounds(ranks) * self.ptp_time(nbytes)
+
+    def messaging_rate(self, nbytes: int) -> float:
+        """Messages/second one rank can inject (MMPS's figure of merit)."""
+        per_message = max(self.per_message_overhead_s, nbytes / self.bandwidth_Bps)
+        return 1.0 / per_message
+
+
+#: BG/Q 5-D torus: ~2 GB/s/link x 10 links, sub-microsecond latency.
+BGQ_TORUS = Interconnect(latency_s=0.7e-6, bandwidth_Bps=20e9,
+                         per_message_overhead_s=0.55e-6, name="bgq-torus")
+
+#: FDR InfiniBand fat tree (Stampede-like).
+CLUSTER_FDR_IB = Interconnect(latency_s=1.6e-6, bandwidth_Bps=6.8e9,
+                              per_message_overhead_s=1.0e-6, name="fdr-ib")

@@ -1,0 +1,112 @@
+"""Communication ops a rank generator can yield.
+
+Payload sizes are estimated via pickling when not given explicitly, so
+the postal cost model sees realistic byte counts without the runtime
+shipping real buffers around.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RuntimeSimError
+
+#: Wildcard source for Recv.
+ANY_SOURCE = -1
+
+
+def payload_nbytes(payload: Any, declared: int | None) -> int:
+    """Size used by the cost model: declared wins, else pickled size."""
+    if declared is not None:
+        if declared < 0:
+            raise RuntimeSimError(f"declared size must be non-negative, got {declared}")
+        return declared
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable sentinel objects still need a size
+        return 64
+
+
+@dataclass(frozen=True)
+class Send:
+    """Non-blocking eager send to ``dest`` with a matching ``tag``."""
+
+    dest: int
+    payload: Any = None
+    tag: int = 0
+    nbytes: int | None = None
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive from ``source`` (or :data:`ANY_SOURCE`)."""
+
+    source: int = ANY_SOURCE
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """All ranks synchronize."""
+
+
+@dataclass(frozen=True)
+class Bcast:
+    """Root's payload is delivered to every rank (yield returns it)."""
+
+    root: int = 0
+    payload: Any = None
+    nbytes: int | None = None
+
+
+@dataclass(frozen=True)
+class Gather:
+    """Every rank contributes; root's yield returns the rank-ordered
+    list, others get None."""
+
+    root: int = 0
+    payload: Any = None
+    nbytes: int | None = None
+
+
+@dataclass(frozen=True)
+class Scatter:
+    """Root's rank-indexed sequence is split: rank i's yield returns
+    ``payload[i]``.  Non-root ranks pass ``payload=None``."""
+
+    root: int = 0
+    payload: Any = None
+    nbytes: int | None = None
+
+
+@dataclass(frozen=True)
+class Allreduce:
+    """Elementwise reduction across ranks; every rank gets the result."""
+
+    payload: Any = None
+    op: Callable[[Any, Any], Any] = field(default=lambda a, b: a + b)
+    nbytes: int | None = None
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Elementwise reduction delivered to ``root`` only (others get
+    None from the yield)."""
+
+    root: int = 0
+    payload: Any = None
+    op: Callable[[Any, Any], Any] = field(default=lambda a, b: a + b)
+    nbytes: int | None = None
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Advance this rank's local clock by ``seconds`` of computation."""
+
+    seconds: float
+
+    def __post_init__(self):
+        if self.seconds < 0.0:
+            raise RuntimeSimError(f"compute time must be non-negative, got {self.seconds}")

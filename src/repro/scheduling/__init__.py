@@ -1,0 +1,25 @@
+"""Power-aware scheduling extension.
+
+The paper motivates environmental data with its prior work [2]: "a
+power aware scheduling design which using power data from IBM Blue
+Gene/Q resulted in savings of up to 23% on the electricity bill."  This
+subpackage implements that loop end-to-end on the simulators: profile a
+job's power with MonEQ, feed the profile to a pricing-aware scheduler,
+and measure the bill reduction against a power-oblivious baseline.
+"""
+
+from repro.scheduling.pricing_sched import (
+    Job,
+    ScheduleOutcome,
+    fcfs_schedule,
+    power_aware_schedule,
+    savings_percent,
+)
+
+__all__ = [
+    "Job",
+    "ScheduleOutcome",
+    "fcfs_schedule",
+    "power_aware_schedule",
+    "savings_percent",
+]

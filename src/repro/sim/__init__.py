@@ -1,0 +1,67 @@
+"""Discrete-event simulation substrate.
+
+Everything in the repro package runs against a *virtual* clock: device
+sensors update on virtual-time schedules, collection APIs charge virtual
+latency per query, and MonEQ's SIGALRM analogue fires on virtual-time
+periods.  This keeps every experiment deterministic and lets the
+benchmarks regenerate the paper's overhead arithmetic exactly.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.hashrand import hash_normal, hash_uniform
+from repro.sim.timers import PeriodicTimer
+from repro.sim.signals import (
+    ClippedSignal,
+    ConstantSignal,
+    ExponentialApproachSignal,
+    PiecewiseConstantSignal,
+    PeriodicPulseSignal,
+    RampSignal,
+    ScaledSignal,
+    Signal,
+    SumSignal,
+)
+from repro.sim.noise import (
+    ComposedNoise,
+    GaussianNoise,
+    NoNoise,
+    NoiseModel,
+    QuantizationNoise,
+    UniformNoise,
+)
+from repro.sim.integrate import CumulativeIntegral
+from repro.sim.sensor import CounterSensor, SampledSensor
+from repro.sim.trace import TraceSeries, TraceSet
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "RngRegistry",
+    "derive_seed",
+    "hash_normal",
+    "hash_uniform",
+    "PeriodicTimer",
+    "Signal",
+    "ConstantSignal",
+    "PiecewiseConstantSignal",
+    "RampSignal",
+    "ExponentialApproachSignal",
+    "PeriodicPulseSignal",
+    "SumSignal",
+    "ScaledSignal",
+    "ClippedSignal",
+    "NoiseModel",
+    "ComposedNoise",
+    "NoNoise",
+    "GaussianNoise",
+    "UniformNoise",
+    "QuantizationNoise",
+    "TraceSeries",
+    "TraceSet",
+    "CumulativeIntegral",
+    "SampledSensor",
+    "CounterSensor",
+]

@@ -1,0 +1,96 @@
+"""Sensor noise models.
+
+Each model perturbs a vector of true values given the *sample indices*
+being read, using the counter-based hashes from :mod:`repro.sim.hashrand`.
+Because noise is a pure function of (seed, sample index), re-reading a
+held sample returns the identical value — matching real sample-and-hold
+sensor registers — and results do not depend on how many other consumers
+read the sensor.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.sim.hashrand import hash_normal, hash_uniform
+
+
+@runtime_checkable
+class NoiseModel(Protocol):
+    """Perturbs true sensor values at given sample indices."""
+
+    def apply(self, seed: int, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Return perturbed copy of ``values`` for sample ``indices``."""
+        ...
+
+
+class NoNoise:
+    """Identity noise model."""
+
+    def apply(self, seed: int, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)
+
+
+class GaussianNoise:
+    """Additive zero-mean Gaussian noise with standard deviation ``sigma``."""
+
+    def __init__(self, sigma: float):
+        if sigma < 0.0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def apply(self, seed: int, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        if self.sigma == 0.0:
+            return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=np.float64) + self.sigma * hash_normal(seed, indices)
+
+
+class UniformNoise:
+    """Additive uniform noise in [-half_width, +half_width].
+
+    NVML documents its power reading as accurate to +/-5 W; the error is
+    bounded, not Gaussian, so the NVML sensor uses this model.
+    """
+
+    def __init__(self, half_width: float):
+        if half_width < 0.0:
+            raise ValueError(f"half_width must be non-negative, got {half_width}")
+        self.half_width = float(half_width)
+
+    def apply(self, seed: int, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        if self.half_width == 0.0:
+            return np.asarray(values, dtype=np.float64)
+        u = hash_uniform(seed, indices)
+        return np.asarray(values, dtype=np.float64) + (2.0 * u - 1.0) * self.half_width
+
+
+class QuantizationNoise:
+    """Floor-quantization to a step size (energy-counter LSB, ADC step).
+
+    Composes *after* additive noise in sensors: real hardware digitizes
+    the already-noisy analogue value.
+    """
+
+    def __init__(self, step: float):
+        if step <= 0.0:
+            raise ValueError(f"step must be positive, got {step}")
+        self.step = float(step)
+
+    def apply(self, seed: int, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        return np.floor(np.asarray(values, dtype=np.float64) / self.step) * self.step
+
+
+class ComposedNoise:
+    """Apply component models in order (e.g. Gaussian then quantization)."""
+
+    def __init__(self, *models: NoiseModel):
+        self.models = models
+
+    def apply(self, seed: int, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        out = np.asarray(values, dtype=np.float64)
+        for i, model in enumerate(self.models):
+            # Offset the seed per stage so stages are independent.
+            out = model.apply(seed ^ (0xA5A5A5A5 * (i + 1)), indices, out)
+        return out

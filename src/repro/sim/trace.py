@@ -1,0 +1,202 @@
+"""Trace containers.
+
+A :class:`TraceSeries` is one sampled time series (timestamps + values);
+a :class:`TraceSet` is a named collection sharing a time base — e.g. the
+seven BG/Q domains MonEQ records per node card.  Both are thin wrappers
+over NumPy arrays with the handful of operations every experiment needs:
+energy integration, resampling, slicing, summary statistics, and tabular
+export for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class TraceError(ReproError):
+    """Malformed trace construction or incompatible trace operands."""
+
+
+@dataclass(frozen=True)
+class TraceSeries:
+    """A sampled time series.
+
+    Attributes
+    ----------
+    times:
+        Sample timestamps in seconds, strictly increasing.
+    values:
+        Sample values, same length as ``times``.
+    name:
+        Series label (``"pkg"``, ``"chip_core"``, ...).
+    units:
+        Unit string (``"W"``, ``"degC"``, ``"V"``...), for rendering.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = ""
+    units: str = "W"
+
+    def __post_init__(self):
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if times.ndim != 1 or values.ndim != 1:
+            raise TraceError("times and values must be 1-D")
+        if len(times) != len(values):
+            raise TraceError(f"length mismatch: {len(times)} times vs {len(values)} values")
+        if len(times) > 1 and np.any(np.diff(times) <= 0):
+            raise TraceError(f"timestamps must be strictly increasing in series {self.name!r}")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        """Span from first to last sample (0 for <2 samples)."""
+        return float(self.times[-1] - self.times[0]) if len(self) > 1 else 0.0
+
+    @property
+    def sample_interval(self) -> float:
+        """Median inter-sample spacing (0 for <2 samples)."""
+        return float(np.median(np.diff(self.times))) if len(self) > 1 else 0.0
+
+    # -- statistics --------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values."""
+        return float(np.mean(self.values)) if len(self) else float("nan")
+
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for <2 samples)."""
+        return float(np.std(self.values, ddof=1)) if len(self) > 1 else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if len(self) else float("nan")
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if len(self) else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.values, q)) if len(self) else float("nan")
+
+    # -- transforms --------------------------------------------------------
+
+    def energy(self) -> float:
+        """Trapezoidal integral of the series over time.
+
+        For a power trace in watts this is the energy in joules.
+        """
+        if len(self) < 2:
+            return 0.0
+        return float(np.trapezoid(self.values, self.times))
+
+    def between(self, t0: float, t1: float) -> "TraceSeries":
+        """Sub-series with t0 <= time <= t1."""
+        if t1 < t0:
+            raise TraceError(f"window inverted: [{t0}, {t1}]")
+        mask = (self.times >= t0) & (self.times <= t1)
+        return TraceSeries(self.times[mask], self.values[mask], self.name, self.units)
+
+    def shift(self, dt: float) -> "TraceSeries":
+        """Series with all timestamps moved by ``dt``."""
+        return TraceSeries(self.times + dt, self.values, self.name, self.units)
+
+    def rename(self, name: str) -> "TraceSeries":
+        return TraceSeries(self.times, self.values, name, self.units)
+
+    def resample(self, interval: float) -> "TraceSeries":
+        """Sample-and-hold resampling onto a regular grid of ``interval``."""
+        if interval <= 0.0:
+            raise TraceError(f"interval must be positive, got {interval}")
+        if len(self) == 0:
+            return self
+        grid = np.arange(self.times[0], self.times[-1] + interval * 0.5, interval)
+        idx = np.clip(np.searchsorted(self.times, grid, side="right") - 1, 0, len(self) - 1)
+        return TraceSeries(grid, self.values[idx], self.name, self.units)
+
+    def add(self, other: "TraceSeries", name: str | None = None) -> "TraceSeries":
+        """Pointwise sum; requires an identical time base."""
+        if len(self) != len(other) or not np.allclose(self.times, other.times):
+            raise TraceError(
+                f"cannot add series {self.name!r} and {other.name!r}: time bases differ"
+            )
+        return TraceSeries(
+            self.times, self.values + other.values, name or f"{self.name}+{other.name}",
+            self.units,
+        )
+
+    def to_rows(self) -> list[tuple[float, float]]:
+        """(time, value) tuples, for text output."""
+        return list(zip(self.times.tolist(), self.values.tolist()))
+
+
+class TraceSet:
+    """Named collection of :class:`TraceSeries` sharing a time base.
+
+    Iteration order is insertion order, which the MonEQ output writer
+    relies on to emit columns in domain order.
+    """
+
+    def __init__(self, series: Mapping[str, TraceSeries] | None = None):
+        self._series: dict[str, TraceSeries] = {}
+        if series:
+            for name, s in series.items():
+                self.add(name, s)
+
+    def add(self, name: str, series: TraceSeries) -> None:
+        if name in self._series:
+            raise TraceError(f"duplicate series name {name!r}")
+        if self._series:
+            first = next(iter(self._series.values()))
+            if len(first) != len(series) or not np.allclose(first.times, series.times):
+                raise TraceError(f"series {name!r} has a different time base")
+        self._series[name] = series
+
+    def __getitem__(self, name: str) -> TraceSeries:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise TraceError(f"no series named {name!r}; have {sorted(self._series)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._series)
+
+    @property
+    def times(self) -> np.ndarray:
+        if not self._series:
+            return np.empty(0, dtype=np.float64)
+        return next(iter(self._series.values())).times
+
+    def total(self, name: str = "total", units: str = "W") -> TraceSeries:
+        """Pointwise sum across all series (e.g. node-card power as the sum
+        of the 7 BG/Q domains)."""
+        if not self._series:
+            raise TraceError("cannot total an empty TraceSet")
+        values = np.sum([s.values for s in self._series.values()], axis=0)
+        return TraceSeries(self.times, values, name, units)
+
+    def to_table(self) -> tuple[list[str], np.ndarray]:
+        """(header, 2-D array) with time as the first column."""
+        header = ["time_s"] + self.names
+        if not self._series:
+            return header, np.empty((0, 1))
+        cols = [self.times] + [s.values for s in self._series.values()]
+        return header, np.column_stack(cols)

@@ -1,0 +1,130 @@
+"""Physical units and conversions used throughout the package.
+
+All simulation times are kept in **seconds** (float), powers in **watts**,
+energies in **joules**, voltages in **volts** and currents in **amperes**.
+Vendor interfaces that report in other units (NVML milliwatts, RAPL
+2^-16-joule energy units, BG/Q kilothings-per-second memory speeds) convert
+at the API boundary using the helpers here so the conversion is written in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+#: One millisecond in seconds.
+MILLISECOND = 1e-3
+#: One microsecond in seconds.
+MICROSECOND = 1e-6
+#: One minute in seconds.
+MINUTE = 60.0
+#: One hour in seconds.
+HOUR = 3600.0
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLISECOND
+
+
+# ---------------------------------------------------------------------------
+# Power / energy
+# ---------------------------------------------------------------------------
+
+#: Default RAPL energy-status unit: 2^-16 joule (15.3 uJ), per the Intel SDM.
+RAPL_ENERGY_UNIT_J = 2.0 ** -16
+#: Default RAPL power unit: 1/8 watt.
+RAPL_POWER_UNIT_W = 0.125
+#: Default RAPL time unit: 976 us.
+RAPL_TIME_UNIT_S = 2.0 ** -10
+
+
+def milliwatts_to_watts(mw: float) -> float:
+    """NVML reports power in integer milliwatts."""
+    return mw * 1e-3
+
+
+def watts_to_milliwatts(w: float) -> int:
+    """Convert watts to the integer milliwatts NVML returns."""
+    return int(round(w * 1e3))
+
+
+def joules(power_w: float, seconds: float) -> float:
+    """Energy (J) of constant ``power_w`` over ``seconds``."""
+    return power_w * seconds
+
+
+def kwh(energy_j: float) -> float:
+    """Convert joules to kilowatt-hours (for electricity-bill math)."""
+    return energy_j / 3.6e6
+
+
+# ---------------------------------------------------------------------------
+# Electrical
+# ---------------------------------------------------------------------------
+
+def power_from_vi(volts: float, amperes: float) -> float:
+    """DC power from a voltage/current sensor pair (BG/Q domains expose
+    V and I, not W)."""
+    return volts * amperes
+
+
+def current_from_power(power_w: float, volts: float) -> float:
+    """Current drawn at ``volts`` for a given power."""
+    if volts <= 0.0:
+        raise ValueError(f"voltage must be positive, got {volts}")
+    return power_w / volts
+
+
+# ---------------------------------------------------------------------------
+# Temperatures
+# ---------------------------------------------------------------------------
+
+def c_to_k(celsius: float) -> float:
+    """Celsius to kelvin."""
+    return celsius + 273.15
+
+
+def k_to_c(kelvin: float) -> float:
+    """Kelvin to celsius."""
+    return kelvin - 273.15
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+_SI_PREFIXES = [
+    (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+    (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+]
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(0.0011, 's')
+    == '1.10 ms'``."""
+    if value == 0.0:
+        return f"0 {unit}"
+    if not math.isfinite(value):
+        return f"{value} {unit}"
+    magnitude = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if magnitude >= factor:
+            scaled = value / factor
+            return f"{scaled:.{digits}g} {prefix}{unit}"
+    factor, prefix = _SI_PREFIXES[-1]
+    return f"{value / factor:.{digits}g} {prefix}{unit}"

@@ -1,0 +1,38 @@
+"""Phase-based workload models.
+
+A workload is a set of per-component *utilization* signals (each in
+[0, 1]) over a fixed duration.  Device power models translate component
+utilization into watts; the figures in the paper are reproduced by the
+composition of a workload model and a device model, observed through a
+vendor collection mechanism.
+"""
+
+from repro.workloads.base import (
+    Component,
+    Phase,
+    PhasedWorkload,
+    Workload,
+)
+from repro.workloads.mmps import MmpsWorkload
+from repro.workloads.gaussian import GaussianEliminationWorkload, OffloadGaussianWorkload
+from repro.workloads.noop import GpuNoopWorkload, PhiNoopWorkload
+from repro.workloads.vectoradd import VectorAddWorkload
+from repro.workloads.stream import BgqStreamWorkload, StreamTriadWorkload
+from repro.workloads.toy import FixedRuntimeToyWorkload, IdleWorkload
+
+__all__ = [
+    "Component",
+    "Phase",
+    "Workload",
+    "PhasedWorkload",
+    "MmpsWorkload",
+    "GaussianEliminationWorkload",
+    "OffloadGaussianWorkload",
+    "GpuNoopWorkload",
+    "PhiNoopWorkload",
+    "VectorAddWorkload",
+    "FixedRuntimeToyWorkload",
+    "IdleWorkload",
+    "StreamTriadWorkload",
+    "BgqStreamWorkload",
+]

@@ -1,0 +1,144 @@
+"""Gaussian elimination workloads.
+
+Two variants appear in the paper:
+
+* a host-CPU run observed through RAPL (Figure 3), which shows a high
+  sustained package load with a *rhythmic ~5 W drop* and "tiny spikes at
+  regular intervals" between the drops, and
+* an offloaded run on Xeon Phi cards (Figure 8), where "data generation
+  takes place for about the first 100 seconds; after which data is
+  transferred to the cards and computation begins" — host-side datagen
+  leaves the cards idle, then card power jumps for the compute phase.
+
+The compute-time model is the textbook (2/3)n^3 flop count over an
+effective flop rate, so matrix size maps to duration the way a real run
+would scale.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.signals import PeriodicPulseSignal, SumSignal
+from repro.workloads.base import Component, Phase, PhasedWorkload
+
+
+def elimination_seconds(n: int, gflops: float) -> float:
+    """Runtime of LU-style elimination of an n x n system at a sustained
+    ``gflops`` rate."""
+    if n <= 0:
+        raise WorkloadError(f"matrix size must be positive, got {n}")
+    if gflops <= 0.0:
+        raise WorkloadError(f"flop rate must be positive, got {gflops}")
+    flops = (2.0 / 3.0) * float(n) ** 3
+    return flops / (gflops * 1e9)
+
+
+class GaussianEliminationWorkload(PhasedWorkload):
+    """Host-CPU Gaussian elimination (the Figure 3 workload).
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension; sets the duration via the flop-count model.
+    gflops:
+        Sustained host flop rate (Sandy Bridge-era default).
+    sync_period:
+        Seconds between panel-factorization sync points; each produces
+        the figure's rhythmic utilization drop, with a small pivot-search
+        spike midway between drops.
+    """
+
+    def __init__(self, n: int = 12_000, gflops: float = 22.0,
+                 sync_period: float = 5.0):
+        if sync_period <= 0.2:
+            raise WorkloadError("sync period too short to resolve")
+        duration = elimination_seconds(n, gflops)
+        phases = [
+            Phase("eliminate", duration, {
+                Component.CPU_CORES: 0.92,
+                Component.CPU_DRAM: 0.55,
+                Component.CPU_UNCORE: 0.35,
+            }),
+        ]
+        modulation = {
+            # The rhythmic drop: cores stall on the panel broadcast.
+            # -0.13 of core utilization x the core plane's dynamic range
+            # is the paper's "rhythmic drop of about 5 Watts".
+            Component.CPU_CORES: SumSignal(
+                PeriodicPulseSignal(period=sync_period, duty=0.08,
+                                    amplitude=-0.13, t0=0.0, t1=duration),
+                # The tiny spike between drops: pivot search bursts.
+                PeriodicPulseSignal(period=sync_period, duty=0.04,
+                                    amplitude=+0.06, t0=0.0, t1=duration,
+                                    phase=-sync_period / 2.0),
+            ),
+            # DRAM surges slightly while cores stall (writeback flush).
+            Component.CPU_DRAM: PeriodicPulseSignal(
+                period=sync_period, duty=0.08, amplitude=+0.10,
+                t0=0.0, t1=duration,
+            ),
+        }
+        super().__init__(
+            name="gaussian-elimination", phases=phases, modulation=modulation,
+            metadata={"n": n, "gflops": gflops, "sync_period": sync_period},
+        )
+
+
+class OffloadGaussianWorkload(PhasedWorkload):
+    """Offloaded Gaussian elimination on a coprocessor (Figure 8).
+
+    Host generates data (cards idle), transfers it over PCIe, then the
+    cards compute; a short gather phase returns the result.
+
+    Parameters
+    ----------
+    datagen_seconds:
+        Host-side data-generation time ("about the first 100 seconds").
+    n / gflops:
+        Problem size and per-card sustained rate (Phi default).
+    """
+
+    def __init__(self, datagen_seconds: float = 100.0, n: int = 22_000,
+                 gflops: float = 55.0):
+        if datagen_seconds <= 0.0:
+            raise WorkloadError("datagen time must be positive")
+        compute = elimination_seconds(n, gflops)
+        transfer = max(2.0, 8.0 * n * n / 6.0e9)  # doubles over ~6 GB/s PCIe
+        phases = [
+            Phase("datagen", datagen_seconds, {
+                Component.CPU_CORES: 0.65,
+                Component.CPU_DRAM: 0.45,
+                # Cards idle: no phi.* load at all.
+            }),
+            Phase("transfer", transfer, {
+                Component.CPU_CORES: 0.25,
+                Component.PHI_PCIE: 0.95,
+                Component.PHI_GDDR: 0.35,
+            }),
+            Phase("compute", compute, {
+                Component.CPU_CORES: 0.10,
+                Component.PHI_CORES: 0.93,
+                Component.PHI_GDDR: 0.70,
+            }),
+            Phase("gather", max(1.0, transfer / 4.0), {
+                Component.PHI_PCIE: 0.8,
+                Component.CPU_CORES: 0.2,
+            }),
+        ]
+        modulation = {
+            # Panel syncs on the card, as on the host, but faster cadence.
+            Component.PHI_CORES: PeriodicPulseSignal(
+                period=4.0, duty=0.06, amplitude=-0.18,
+                t0=datagen_seconds + transfer,
+                t1=datagen_seconds + transfer + compute,
+            ),
+        }
+        super().__init__(
+            name="gaussian-offload", phases=phases, modulation=modulation,
+            metadata={
+                "n": n, "gflops": gflops,
+                "datagen_seconds": datagen_seconds,
+                "transfer_seconds": transfer,
+                "compute_seconds": compute,
+            },
+        )

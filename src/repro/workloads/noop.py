@@ -1,0 +1,70 @@
+"""NOOP workloads.
+
+The paper uses a no-op kernel in two places:
+
+* on a K20 GPU (Figure 4), where power climbs *gradually* for about five
+  seconds after the kernel loop starts — attributed to the lock-step
+  thread scheduler gradually engaging — before leveling off; and
+* on the Xeon Phi (Figure 7), where a no-op run is observed through both
+  collection paths to expose the in-band API's power perturbation.
+
+Both are modeled as a low-but-nonzero utilization whose onset is an
+exponential approach rather than a step.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.signals import ExponentialApproachSignal
+from repro.workloads.base import Component, Workload
+
+
+class GpuNoopWorkload(Workload):
+    """Kernel-launch loop of empty kernels on a GPU.
+
+    Parameters
+    ----------
+    duration:
+        Loop run time (Figure 4 spans ~12.5 s).
+    ramp_tau:
+        Time constant of the slow engagement; the figure levels off
+        around 5 s, consistent with tau ~= 1.5 s.
+    level:
+        Asymptotic SM utilization of the launch loop (small: the kernels
+        do nothing, but the scheduler and launch path stay busy).
+    """
+
+    def __init__(self, duration: float = 12.5, ramp_tau: float = 1.5,
+                 level: float = 0.22):
+        if not 0.0 < level <= 1.0:
+            raise WorkloadError(f"level must be in (0,1], got {level}")
+        signals = {
+            Component.GPU_SM: ExponentialApproachSignal(0.0, ramp_tau, 0.0, level),
+            # Launch path exercises PCIe slightly.
+            Component.GPU_PCIE: ExponentialApproachSignal(0.0, ramp_tau, 0.0, 0.05),
+        }
+        super().__init__(
+            name="gpu-noop", duration=duration, signals=signals,
+            metadata={"ramp_tau": ramp_tau, "level": level},
+        )
+
+
+class PhiNoopWorkload(Workload):
+    """No-op occupation of a Xeon Phi card (the Figure 7 workload).
+
+    The card sits near idle; all interesting structure in Figure 7 comes
+    from the *collection path* (SysMgmt API wakes cores; the MICRAS
+    daemon read does not), so the workload itself is a whisper of load
+    from the resident coprocessor OS.
+    """
+
+    def __init__(self, duration: float = 120.0, level: float = 0.03):
+        if not 0.0 <= level <= 1.0:
+            raise WorkloadError(f"level must be in [0,1], got {level}")
+        signals = {
+            Component.PHI_CORES: ExponentialApproachSignal(0.0, 2.0, 0.0, level),
+        }
+        super().__init__(
+            name="phi-noop", duration=duration, signals=signals,
+            metadata={"level": level},
+        )

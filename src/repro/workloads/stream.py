@@ -1,0 +1,84 @@
+"""STREAM-style memory-bandwidth workload.
+
+The classic triad kernel (a = b + s*c): almost no arithmetic intensity,
+memory subsystem saturated.  Useful for exercising the DRAM-dominant
+corner of every platform's power model — the corner where the paper's
+per-domain mechanisms (BG/Q DRAM domain, RAPL's DRAM plane) separate
+from board-level-only mechanisms (NVML).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Component, Phase, PhasedWorkload
+
+
+def triad_seconds(array_bytes: int, bandwidth_Bps: float, iterations: int) -> float:
+    """Runtime of ``iterations`` triad sweeps: 3 streams per element."""
+    if array_bytes <= 0 or iterations <= 0:
+        raise WorkloadError("array size and iterations must be positive")
+    if bandwidth_Bps <= 0.0:
+        raise WorkloadError("bandwidth must be positive")
+    return iterations * 3.0 * array_bytes / bandwidth_Bps
+
+
+class StreamTriadWorkload(PhasedWorkload):
+    """STREAM triad on a host CPU: DRAM pinned, cores half-busy.
+
+    Parameters
+    ----------
+    array_bytes:
+        Working-set size per array (3 arrays totalling 3x this).
+    iterations:
+        Sweep count.
+    bandwidth_Bps:
+        Sustained memory bandwidth of the socket.
+    """
+
+    def __init__(self, array_bytes: int = 1 << 30, iterations: int = 200,
+                 bandwidth_Bps: float = 35e9):
+        duration = triad_seconds(array_bytes, bandwidth_Bps, iterations)
+        phases = [
+            Phase("init", max(0.5, duration * 0.02), {
+                Component.CPU_CORES: 0.35,
+                Component.CPU_DRAM: 0.60,
+            }),
+            Phase("triad", duration, {
+                # Bandwidth-bound: cores mostly waiting on memory.
+                Component.CPU_CORES: 0.45,
+                Component.CPU_UNCORE: 0.70,
+                Component.CPU_DRAM: 0.97,
+            }),
+            Phase("verify", max(0.5, duration * 0.05), {
+                Component.CPU_CORES: 0.55,
+                Component.CPU_DRAM: 0.50,
+            }),
+        ]
+        super().__init__(
+            name="stream-triad", phases=phases,
+            metadata={
+                "array_bytes": array_bytes,
+                "iterations": iterations,
+                "bandwidth_Bps": bandwidth_Bps,
+                "triad_seconds": duration,
+            },
+        )
+
+
+class BgqStreamWorkload(PhasedWorkload):
+    """The same kernel on BG/Q nodes: DRAM domain dominant, network
+    quiet — the inverse of the MMPS signature."""
+
+    def __init__(self, duration: float = 300.0):
+        if duration <= 2.0:
+            raise WorkloadError("BG/Q STREAM run needs a few seconds")
+        phases = [
+            Phase("triad", duration, {
+                Component.BGQ_CHIP_CORE: 0.45,
+                Component.BGQ_DRAM: 0.97,
+                Component.BGQ_SRAM: 0.25,
+                # Interconnect idle: no halo, no messaging.
+            }),
+        ]
+        super().__init__(name="bgq-stream", phases=phases,
+                         metadata={"duration": duration})

@@ -1,0 +1,47 @@
+"""Fixed-runtime toy application and the idle workload.
+
+Table III profiles "a toy application designed to run for exactly the
+same amount of time regardless of the number of processors" — the
+application whose overhead accounting yields the 0.4 % MonEQ figure.  The
+paper reports runtimes of 202.78 / 202.73 / 202.74 s at 32 / 512 / 1024
+nodes: constant by construction, with only measurement-level wiggle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Component, Phase, PhasedWorkload, Workload
+
+#: The paper's toy-application runtime (32-node row of Table III).
+TABLE3_RUNTIME_S = 202.78
+
+
+class FixedRuntimeToyWorkload(PhasedWorkload):
+    """Constant moderate load for an exact duration, scale-invariant."""
+
+    def __init__(self, duration: float = TABLE3_RUNTIME_S):
+        phases = [
+            Phase("busy", duration, {
+                Component.BGQ_CHIP_CORE: 0.6,
+                Component.BGQ_DRAM: 0.4,
+                Component.BGQ_SRAM: 0.3,
+                Component.CPU_CORES: 0.6,
+                Component.CPU_DRAM: 0.4,
+            }),
+        ]
+        super().__init__(name="toy-fixed-runtime", phases=phases,
+                         metadata={"duration": duration})
+
+
+class IdleWorkload(Workload):
+    """No load anywhere: devices report their idle floors.
+
+    Used to measure baselines (e.g. the RAPL idle shelf visible before
+    and after the Figure 3 capture window) and as the 'off' arm of
+    comparisons.
+    """
+
+    def __init__(self, duration: float = 60.0):
+        if duration <= 0.0:
+            raise WorkloadError(f"duration must be positive, got {duration}")
+        super().__init__(name="idle", duration=duration, signals={})

@@ -1,0 +1,67 @@
+"""Vector-add GPU workload (the paper's Figure 5).
+
+"This workload first generates the data on the host side and then
+transfers the data to the GPU for the vector addition, so for the first
+10 or so seconds, the GPU hasn't been given any work to do.  After the
+data is generated and handed off to the GPU for computation, the power
+consumption increases dramatically where it remains for the remainder of
+the computation."  Temperature rises steadily throughout the compute
+phase (the device thermal model produces that from the power signal).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.sim.signals import ExponentialApproachSignal, SumSignal
+from repro.workloads.base import Component, Phase, PhasedWorkload
+
+
+class VectorAddWorkload(PhasedWorkload):
+    """Host datagen -> H2D transfer -> sustained vector-add loop.
+
+    Parameters
+    ----------
+    datagen_seconds:
+        Host-side generation time ("the first 10 or so seconds").
+    compute_seconds:
+        GPU compute time (Figure 5 spans ~100 s total).
+    """
+
+    def __init__(self, datagen_seconds: float = 10.0, compute_seconds: float = 85.0,
+                 transfer_seconds: float = 3.0):
+        for label, value in [("datagen", datagen_seconds),
+                             ("compute", compute_seconds),
+                             ("transfer", transfer_seconds)]:
+            if value <= 0.0:
+                raise WorkloadError(f"{label} time must be positive, got {value}")
+        phases = [
+            # GPU idle-but-armed while the host generates data; the board
+            # shows the same slow creep as the NOOP case (context resident).
+            Phase("datagen", datagen_seconds, {
+                Component.GPU_SM: 0.08,
+            }),
+            Phase("transfer", transfer_seconds, {
+                Component.GPU_PCIE: 0.95,
+                Component.GPU_MEM: 0.45,
+                Component.GPU_SM: 0.10,
+            }),
+            Phase("compute", compute_seconds, {
+                Component.GPU_SM: 0.85,
+                Component.GPU_MEM: 0.90,   # vector add is bandwidth-bound
+                Component.GPU_PCIE: 0.05,
+            }),
+        ]
+        modulation = {
+            # The slow engagement ramp observed before the jump.
+            Component.GPU_SM: SumSignal(
+                ExponentialApproachSignal(0.0, 2.0, -0.06, 0.0),
+            ),
+        }
+        super().__init__(
+            name="gpu-vector-add", phases=phases, modulation=modulation,
+            metadata={
+                "datagen_seconds": datagen_seconds,
+                "transfer_seconds": transfer_seconds,
+                "compute_seconds": compute_seconds,
+            },
+        )

@@ -1,0 +1,39 @@
+"""Intel Xeon Phi (Knights Corner / MIC) simulator.
+
+The paper's richest case study: one card, three collection paths with
+different costs and side effects.
+
+* **in-band** — the SysMgmt SCIF API: the query travels across the SCIF
+  to the card, where "code that wasn't already executing on the device
+  before the call was made must run, collect, and return" — 14.2 ms per
+  query (~14 % overhead) *and* a measurable rise in card power.
+* **daemon** — the MICRAS daemon's pseudo-files on the card's virtual
+  filesystem: 0.04 ms per read, "nearly the same overhead as RAPL ...
+  because the implementation on both is essentially the same; the Xeon
+  Phi actually uses RAPL internally" — but only code running *on the
+  card* can read them, so collection contends with the application.
+* **out-of-band** — the SMC answers the platform BMC over IPMB: no
+  host- or card-side cost at all, but slow and coarse.
+"""
+
+from repro.xeonphi.card import PhiCard, PhiModel, XEON_PHI_SE10P
+from repro.xeonphi.smc import SystemManagementController
+from repro.xeonphi.scif import ScifEndpoint, ScifNetwork, SCIF_SYSMGMT_PORT
+from repro.xeonphi.micras import MicrasDaemon
+from repro.xeonphi.sysmgmt import SysMgmtApi
+from repro.xeonphi.ipmb import BaseboardManagementController, IpmbMessage, SmcIpmbResponder
+
+__all__ = [
+    "PhiCard",
+    "PhiModel",
+    "XEON_PHI_SE10P",
+    "SystemManagementController",
+    "ScifNetwork",
+    "ScifEndpoint",
+    "SCIF_SYSMGMT_PORT",
+    "MicrasDaemon",
+    "SysMgmtApi",
+    "BaseboardManagementController",
+    "SmcIpmbResponder",
+    "IpmbMessage",
+]

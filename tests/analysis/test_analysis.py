@@ -1,0 +1,135 @@
+"""Unit and property tests for the analysis package."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.boxplot import boxplot_stats
+from repro.analysis.compare import idle_visibility, relative_error, series_agreement
+from repro.analysis.stats import AnalysisError, summarize, welch_ttest
+from repro.analysis.tables import format_table
+from repro.sim.trace import TraceSeries
+
+
+def series(values, dt=1.0):
+    return TraceSeries(np.arange(len(values)) * dt, np.asarray(values, float))
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize(np.array([]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+    def test_quartiles_ordered(self, values):
+        s = summarize(np.array(values))
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+
+
+class TestWelch:
+    def test_separated_samples_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10.0, 1.0, 200)
+        b = rng.normal(12.0, 1.0, 200)
+        result = welch_ttest(b, a)
+        assert result.significant()
+        assert result.mean_difference == pytest.approx(2.0, abs=0.3)
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(10.0, 1.0, 100)
+        b = rng.normal(10.0, 1.0, 100)
+        assert not welch_ttest(a, b).significant(alpha=0.001)
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            welch_ttest(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestBoxplot:
+    def test_five_numbers(self):
+        box = boxplot_stats(np.arange(1.0, 101.0))
+        assert box.median == pytest.approx(50.5)
+        assert box.q1 < box.median < box.q3
+        assert box.whisker_low == 1.0 and box.whisker_high == 100.0
+        assert box.outliers == ()
+
+    def test_outliers_split_off(self):
+        data = np.concatenate([np.full(50, 10.0), [10.1, 9.9, 40.0]])
+        box = boxplot_stats(data)
+        assert 40.0 in box.outliers
+        assert box.whisker_high < 40.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            boxplot_stats(np.array([]))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=4, max_size=200))
+    def test_whiskers_inside_data_range(self, values):
+        box = boxplot_stats(np.array(values))
+        assert min(values) <= box.whisker_low <= box.whisker_high <= max(values)
+
+
+class TestIdleVisibility:
+    def test_step_trace_visible(self):
+        trace = series([100, 100, 100, 800, 820, 810, 100, 100])
+        result = idle_visibility(trace)
+        assert result.visible
+        assert result.idle_level == pytest.approx(100.0)
+        assert result.active_level == pytest.approx(810.0, rel=0.02)
+
+    def test_flat_trace_not_visible(self):
+        trace = series([500, 501, 499, 500, 502, 498])
+        assert not idle_visibility(trace).visible
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            idle_visibility(series([1, 2]))
+
+
+class TestAgreement:
+    def test_same_signal_agrees(self):
+        a = series([100.0] * 50, dt=0.1)
+        b = series([100.0] * 5, dt=1.0)
+        result = series_agreement(a, b)
+        assert result.relative_difference == 0.0
+        assert result.sample_ratio == 10.0
+
+    def test_window_applies(self):
+        a = series([1.0] * 10 + [5.0] * 10)
+        b = series([5.0] * 20)
+        result = series_agreement(a, b, window=(10.0, 19.0))
+        assert result.relative_difference == 0.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            series_agreement(series([1, 2]), series([1, 2]), window=(100.0, 200.0))
+
+    def test_relative_error_zero_reference_rejected(self):
+        with pytest.raises(AnalysisError):
+            relative_error(1.0, 0.0)
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        text = format_table(["a", "bb"], [[1.0, "x"], [2.5, "yy"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table([], [])

@@ -1,0 +1,90 @@
+"""Unit and property tests for trace export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import (
+    csv_to_traceset,
+    json_to_traceset,
+    series_to_csv,
+    traceset_to_csv,
+    traceset_to_json,
+)
+from repro.analysis.stats import AnalysisError
+from repro.sim.trace import TraceSeries, TraceSet
+
+
+def traces(values_by_name, dt=0.5):
+    ts = TraceSet()
+    for name, values in values_by_name.items():
+        ts.add(name, TraceSeries(np.arange(len(values)) * dt,
+                                 np.asarray(values, float), name, "W"))
+    return ts
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = traceset_to_csv(traces({"pkg": [1.0, 2.0], "dram": [3.0, 4.0]}))
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_s,pkg,dram"
+        assert lines[1] == "0.000000,1.000000,3.000000"
+
+    def test_roundtrip(self):
+        original = traces({"pkg": [1.5, 2.5, 3.5]})
+        back = csv_to_traceset(traceset_to_csv(original))
+        np.testing.assert_allclose(back["pkg"].values, [1.5, 2.5, 3.5])
+        np.testing.assert_allclose(back.times, original.times)
+
+    def test_single_series_helper(self):
+        series = TraceSeries(np.array([0.0, 1.0]), np.array([5.0, 6.0]), "board_w")
+        assert series_to_csv(series).startswith("time_s,board_w")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            traceset_to_csv(TraceSet())
+
+    def test_malformed_rejected(self):
+        with pytest.raises(AnalysisError):
+            csv_to_traceset("wrong,header\n1,2\n")
+        with pytest.raises(AnalysisError):
+            csv_to_traceset("time_s,x\n")
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_values_to_6_decimals(self, values):
+        original = traces({"s": values})
+        back = csv_to_traceset(traceset_to_csv(original))
+        np.testing.assert_allclose(back["s"].values, values, atol=1e-6)
+
+
+class TestJson:
+    def test_roundtrip_exact(self):
+        original = traces({"pkg": [1.25, 2.5], "dram": [0.0, -1.0]})
+        back = json_to_traceset(traceset_to_json(original))
+        assert back.names == ["pkg", "dram"]
+        np.testing.assert_array_equal(back["pkg"].values, original["pkg"].values)
+        assert back["pkg"].units == "W"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(AnalysisError):
+            json_to_traceset('{"nope": 1}')
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            traceset_to_json(TraceSet())
+
+    def test_moneq_result_exports(self):
+        """End to end: a real MonEQ capture exports and parses back."""
+        from repro.core import moneq
+        from repro.testbeds import rapl_node
+
+        node, _ = rapl_node(seed=307)
+        result = moneq.profile_run(node, duration_s=3.0)
+        trace_set = result.traces[next(iter(result.traces))]
+        back = json_to_traceset(traceset_to_json(trace_set))
+        assert back.names == trace_set.names
+        np.testing.assert_array_equal(back["pkg_w"].values,
+                                      trace_set["pkg_w"].values)

@@ -1,0 +1,74 @@
+"""Unit tests for the terminal chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import ascii_chart, sparkline
+from repro.analysis.stats import AnalysisError
+from repro.sim.trace import TraceSeries
+
+
+def series(values, dt=1.0, name="p", units="W"):
+    return TraceSeries(np.arange(len(values)) * dt, np.asarray(values, float),
+                       name, units)
+
+
+class TestAsciiChart:
+    def test_dimensions(self):
+        text = ascii_chart(series(np.linspace(0, 10, 100)), width=40, height=8)
+        lines = text.splitlines()
+        chart_lines = [l for l in lines if "|" in l]
+        assert len(chart_lines) == 8
+        assert all(len(l.split("|", 1)[1]) <= 40 for l in chart_lines)
+
+    def test_extremes_labeled(self):
+        text = ascii_chart(series([5.0, 25.0, 15.0]))
+        assert "25.0" in text and "5.0" in text
+
+    def test_title_and_units(self):
+        text = ascii_chart(series([1, 2]), title="Figure X")
+        assert text.startswith("Figure X")
+        assert "[p: W]" in text
+
+    def test_step_shape_renders_both_levels(self):
+        values = np.concatenate([np.full(50, 0.0), np.full(50, 10.0)])
+        text = ascii_chart(series(values), width=20, height=6)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        top, bottom = rows[0], rows[-1]
+        # Left half low, right half high.
+        assert "#" in bottom[:10] and "#" in top[10:]
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_chart(series([7.0] * 10))
+        assert "#" in text
+
+    def test_spikes_survive_binning(self):
+        values = np.full(1000, 10.0)
+        values[500] = 100.0  # single-sample spike
+        text = ascii_chart(series(values, dt=0.01), width=40, height=8)
+        top_row = next(l for l in text.splitlines() if "|" in l)
+        assert "#" in top_row
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ascii_chart(series([]))
+        with pytest.raises(AnalysisError):
+            ascii_chart(series([1, 2]), width=4)
+
+
+class TestSparkline:
+    def test_length_bounded_by_width(self):
+        assert len(sparkline(np.arange(1000), width=50)) == 50
+
+    def test_short_input_one_char_per_value(self):
+        assert len(sparkline(np.array([1.0, 2.0, 3.0]), width=60)) == 3
+
+    def test_monotone_ramp_monotone_blocks(self):
+        line = sparkline(np.linspace(0, 1, 10))
+        blocks = " .:-=+*#%@"
+        levels = [blocks.index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            sparkline(np.array([]))

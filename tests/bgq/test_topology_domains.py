@@ -1,0 +1,113 @@
+"""Unit tests for BG/Q topology and domain rails."""
+
+import numpy as np
+import pytest
+
+from repro.bgq.domains import (
+    BGQ_DOMAINS,
+    NODE_CARD_IDLE_W,
+    NODE_CARD_PEAK_W,
+    BgqDomain,
+    domain_spec,
+)
+from repro.bgq.topology import (
+    APP_CORES_PER_RACK,
+    NODES_PER_RACK,
+    NodeBoard,
+    Rack,
+    bgq_machine,
+)
+from repro.errors import ConfigError
+from repro.sim.rng import RngRegistry
+from repro.workloads.mmps import MmpsWorkload
+
+
+class TestTopology:
+    def test_paper_counts(self):
+        rack = Rack(0, RngRegistry(1))
+        assert len(rack.midplanes) == 2
+        assert len(rack.link_cards) == 8
+        assert len(rack.service_cards) == 2
+        assert len(rack.midplanes[0].node_boards) == 16
+        assert rack.midplanes[0].node_boards[0].node_count == 32
+        assert rack.node_count == 1024 == NODES_PER_RACK
+
+    def test_cores_per_rack(self):
+        # "BG/Q thus has 16,384 cores per rack" (application cores).
+        assert APP_CORES_PER_RACK == 16_384
+
+    def test_compute_card_core_split(self):
+        rack = Rack(0, RngRegistry(1))
+        card = rack.midplanes[0].node_boards[0].cards[0]
+        assert card.total_cores == 18
+        assert card.app_cores == 16
+        assert card.system_cores == 1
+        assert card.inactive_cores == 1
+        assert card.threads_per_core == 4
+
+    def test_location_strings(self):
+        rack = Rack(7, RngRegistry(1))
+        board = rack.midplanes[1].node_boards[3]
+        assert board.location == "R07-M1-N03"
+        assert board.cards[12].location == "R07-M1-N03-J12"
+
+    def test_machine_factory_validates(self):
+        with pytest.raises(ConfigError):
+            bgq_machine(0)
+
+    def test_machine_rngs_stable_under_growth(self):
+        one = bgq_machine(1, RngRegistry(9))
+        two = bgq_machine(2, RngRegistry(9))
+        assert (one[0].midplanes[0].node_boards[0].rng.seed("x")
+                == two[0].midplanes[0].node_boards[0].rng.seed("x"))
+
+
+class TestDomains:
+    def test_seven_domains(self):
+        assert len(BGQ_DOMAINS) == 7
+        assert {s.domain for s in BGQ_DOMAINS} == set(BgqDomain)
+
+    def test_budgets_match_figure_bands(self):
+        assert 650.0 <= NODE_CARD_IDLE_W <= 750.0
+        assert 1800.0 <= NODE_CARD_PEAK_W <= 2100.0
+
+    def test_chip_core_is_largest(self):
+        chip = domain_spec(BgqDomain.CHIP_CORE)
+        assert all(chip.dynamic_w >= s.dynamic_w for s in BGQ_DOMAINS)
+
+    def test_sample_phases_distinct(self):
+        phases = [s.sample_phase for s in BGQ_DOMAINS]
+        assert len(set(phases)) == len(phases)
+
+
+class TestNodeBoardElectrical:
+    @pytest.fixture
+    def board(self):
+        board = NodeBoard("R00-M0-N00", RngRegistry(5))
+        board.board.schedule(MmpsWorkload(duration=600.0), t_start=0.0)
+        return board
+
+    def test_total_is_sum_of_domains(self, board):
+        t = 100.0
+        total = float(board.total_power(t))
+        parts = sum(float(board.domain_power(s.domain, t)) for s in BGQ_DOMAINS)
+        assert total == pytest.approx(parts)
+
+    def test_mmps_node_card_power_matches_figure2(self, board):
+        t = np.arange(60.0, 500.0, 5.0)
+        total = board.total_power(t)
+        assert 1400.0 < total.mean() < 1800.0
+        assert total.max() < 2100.0
+
+    def test_voltage_droop_under_load(self, board):
+        v_loaded = float(board.domain_voltage(BgqDomain.CHIP_CORE, 100.0))
+        v_idle = float(board.domain_voltage(BgqDomain.CHIP_CORE, 700.0))
+        assert v_loaded < v_idle == domain_spec(BgqDomain.CHIP_CORE).nominal_v
+
+    def test_current_times_voltage_is_power(self, board):
+        t = 100.0
+        for spec in BGQ_DOMAINS:
+            v = float(board.domain_voltage(spec.domain, t))
+            i = float(board.domain_current(spec.domain, t))
+            p = float(board.domain_power(spec.domain, t))
+            assert v * i == pytest.approx(p, rel=1e-9)

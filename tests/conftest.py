@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def queue() -> EventQueue:
+    return EventQueue()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(root_seed=1234)

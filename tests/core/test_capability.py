@@ -1,0 +1,99 @@
+"""Unit tests for the Table I capability matrix."""
+
+from repro.core.capability import (
+    PLATFORM_ORDER,
+    TABLE1_ROWS,
+    Availability,
+    CapabilityRow,
+    capability_matrix,
+    render_capability_table,
+    universal_rows,
+)
+
+
+def cell(platform: str, category: str, item: str) -> Availability:
+    return capability_matrix()[platform].cell(CapabilityRow(category, item))
+
+
+class TestMatrixStructure:
+    def test_four_platforms_in_paper_order(self):
+        assert tuple(capability_matrix()) == PLATFORM_ORDER == (
+            "Xeon Phi", "NVML", "Blue Gene/Q", "RAPL"
+        )
+
+    def test_row_count_matches_table1(self):
+        assert len(TABLE1_ROWS) == 21
+
+    def test_every_cell_defined(self):
+        matrix = capability_matrix()
+        for platform in PLATFORM_ORDER:
+            for row in TABLE1_ROWS:
+                assert matrix[platform].cell(row) in Availability
+
+
+class TestPaperClaims:
+    def test_total_power_universal(self):
+        """'Just about the only data point which is collectible on all of
+        these platforms is total power consumption.'"""
+        rows = universal_rows()
+        assert CapabilityRow("Total Power Consumption (Watts)", "Total") in rows
+        assert len(rows) == 1
+
+    def test_nvml_no_memory_power_breakdown(self):
+        """'One must settle for total power consumption of the whole card
+        when clearly the power consumption of both the GPU and memory
+        would be more beneficial.'"""
+        assert cell("NVML", "Total Power Consumption (Watts)",
+                    "Main Memory") is Availability.UNAVAILABLE
+
+    def test_nvml_has_temperature_bgq_does_not(self):
+        """'NVIDIA GPUs support temperature data whereas this data is only
+        accessible in the environmental data for a Blue Gene/Q.'"""
+        assert cell("NVML", "Temperature", "Die") is Availability.AVAILABLE
+        assert cell("Blue Gene/Q", "Temperature", "Die") is Availability.UNAVAILABLE
+
+    def test_bgq_exposes_voltage_and_current(self):
+        for item in ("Voltage", "Current"):
+            assert cell("Blue Gene/Q", "Total Power Consumption (Watts)",
+                        item) is Availability.AVAILABLE
+
+    def test_rapl_pcie_not_applicable(self):
+        assert cell("RAPL", "Total Power Consumption (Watts)",
+                    "PCI Express") is Availability.NOT_APPLICABLE
+
+    def test_rapl_dram_domain_available(self):
+        assert cell("RAPL", "Total Power Consumption (Watts)",
+                    "Main Memory") is Availability.AVAILABLE
+
+    def test_bgq_airflow_not_applicable(self):
+        for item in ("Intake (Fan-In)", "Exhaust (Fan-Out)"):
+            assert cell("Blue Gene/Q", "Temperature", item) is Availability.NOT_APPLICABLE
+        assert cell("Blue Gene/Q", "Fans", "Speed (In RPM)") is Availability.NOT_APPLICABLE
+
+    def test_phi_richest_column(self):
+        matrix = capability_matrix()
+        counts = {
+            p: sum(matrix[p].cell(r) is Availability.AVAILABLE for r in TABLE1_ROWS)
+            for p in PLATFORM_ORDER
+        }
+        assert counts["Xeon Phi"] == max(counts.values())
+
+    def test_power_limits_on_phi_nvml_rapl_only(self):
+        row = ("Limits", "Get/Set Power Limit")
+        assert cell("Xeon Phi", *row) is Availability.AVAILABLE
+        assert cell("NVML", *row) is Availability.AVAILABLE
+        assert cell("RAPL", *row) is Availability.AVAILABLE
+        assert cell("Blue Gene/Q", *row) is Availability.UNAVAILABLE
+
+
+class TestRendering:
+    def test_render_has_all_items_and_platforms(self):
+        text = render_capability_table()
+        for platform in PLATFORM_ORDER:
+            assert platform in text
+        for row in TABLE1_ROWS:
+            assert row.item in text
+
+    def test_render_uses_marks(self):
+        text = render_capability_table()
+        assert "+" in text and "-" in text and "N/A" in text

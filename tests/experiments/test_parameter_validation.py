@@ -1,0 +1,44 @@
+"""The experiment entry points validate their parameters."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import fig1, fig2, fig8, rapl_overflow, table3
+
+
+class TestParameterGates:
+    def test_fig1_poll_interval_must_be_in_range(self):
+        with pytest.raises(ConfigError):
+            fig1.run(poll_interval_s=30.0)  # below the documented 60 s
+
+    def test_fig2_interval_below_emon_floor_rejected(self):
+        with pytest.raises(ConfigError):
+            fig2.run(interval_s=0.1)  # EMON minimum is 560 ms
+
+    def test_fig8_card_count_positive(self):
+        with pytest.raises(ConfigError):
+            fig8.run(cards=0)
+
+    def test_table3_scale_positive(self):
+        with pytest.raises(ConfigError):
+            table3.run_scale(0)
+
+    def test_table3_scale_bounded_by_machine(self):
+        with pytest.raises(ConfigError):
+            table3.run_scale(2048)  # one rack is 1024 nodes
+
+
+class TestSmallScaleVariants:
+    def test_fig8_shape_holds_at_16_cards(self):
+        result = fig8.run(cards=16)
+        assert result.compute_mean_w > 1.5 * result.datagen_mean_w
+
+    def test_table3_intermediate_scale(self):
+        report = table3.run_scale(256)  # 8 node cards
+        assert report.agent_count == 8
+        assert report.collection_s == pytest.approx(0.3982, abs=0.02)
+
+    def test_overflow_sweep_custom_intervals(self):
+        result = rapl_overflow.run(intervals=(1.0, 100.0))
+        assert result.points[0].relative_error < 0.01
+        assert result.points[1].relative_error > 0.2

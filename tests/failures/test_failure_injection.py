@@ -1,0 +1,154 @@
+"""Failure-injection tests: the system degrades loudly, not silently."""
+
+import pytest
+
+from repro.core import moneq
+from repro.core.moneq.config import MoneqConfig
+from repro.core.moneq.session import MoneqSession
+from repro.core.moneq.backends import RaplMsrBackend
+from repro.errors import (
+    AccessDeniedError,
+    DeadlockError,
+    FileNotFoundVfsError,
+    IpmbError,
+    MoneqBufferFullError,
+    NotADirectoryVfsError,
+    RankError,
+    ScifDisconnectedError,
+)
+from repro.host.permissions import USER
+from repro.runtime.launcher import Launcher
+from repro.runtime.ops import Barrier, Compute, Recv, Send
+from repro.testbeds import phi_node, rapl_node
+from repro.xeonphi.ipmb import IpmbMessage, SmcIpmbResponder
+
+
+class TestRuntimeFailures:
+    def test_rank_crash_mid_communication_does_not_hang(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(dest=1, payload="x")
+                raise RuntimeError("rank 0 dies after sending")
+            yield Recv(source=0)
+            yield Recv(source=0)  # would wait forever on the dead rank
+
+        with pytest.raises(RankError) as exc:
+            Launcher(program, size=2).run()
+        assert exc.value.rank == 0
+
+    def test_survivors_blocked_on_dead_rank_deadlock_if_crash_is_silent(self):
+        """A rank that returns early (not crashes) leaves waiters
+        deadlocked — and the launcher says exactly who waits on what."""
+        def program(ctx):
+            if ctx.rank == 0:
+                return "left early"
+            yield Recv(source=0, tag=9)
+
+        with pytest.raises(DeadlockError, match="tag=9"):
+            Launcher(program, size=2).run()
+
+    def test_mixed_collective_entry_reported(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Barrier()
+            else:
+                yield Compute(1.0)  # never joins
+
+        with pytest.raises(DeadlockError, match="Barrier"):
+            Launcher(program, size=2).run()
+
+
+class TestMoneqFailures:
+    def test_buffer_exhaustion_surfaces_during_run(self):
+        node, _ = rapl_node(seed=51)
+        session = moneq.initialize(node, MoneqConfig(buffer_slots=5))
+        with pytest.raises(MoneqBufferFullError, match="buffer of 5"):
+            node.events.run_until(node.clock.now + 60.0)
+        # State is still coherent: finalize is refused exactly once.
+        session.finalize()
+
+    def test_dead_agent_process_does_not_abort_collection(self):
+        node, _ = rapl_node(seed=52)
+        package = node.device("cpu")
+        proc = node.spawn("app")
+        session = MoneqSession(
+            [RaplMsrBackend(package, "s0")], node.events,
+            processes=[proc], node_count=1, vfs=node.vfs,
+        )
+        node.events.run_until(node.clock.now + 1.0)
+        node.processes.exit(proc.pid)  # app dies mid-profile
+        node.events.run_until(node.clock.now + 1.0)
+        result = session.finalize()
+        # Collection continued; only live-process CPU time was charged.
+        assert result.overhead.ticks >= 30
+        assert proc.cpu_seconds > 0.0
+
+    def test_output_dir_colliding_with_file_fails_loudly(self):
+        node, _ = rapl_node(seed=53)
+        node.vfs.write_text("/moneq", "not a directory")
+        session = moneq.initialize(node)
+        node.events.run_until(node.clock.now + 0.5)
+        with pytest.raises((NotADirectoryVfsError, FileNotFoundVfsError)):
+            session.finalize()
+
+    def test_no_ticks_session_finalizes_cleanly(self):
+        node, _ = rapl_node(seed=54)
+        session = moneq.initialize(node)
+        # Finalize before the first 60 ms tick.
+        node.events.run_until(node.clock.now + 0.01)
+        result = session.finalize()
+        assert result.overhead.ticks == 0
+        assert len(result.trace("pkg_w")) == 0
+
+    def test_timer_stops_after_finalize(self):
+        node, _ = rapl_node(seed=55)
+        session = moneq.initialize(node)
+        node.events.run_until(node.clock.now + 1.0)
+        result = session.finalize()
+        ticks = result.overhead.ticks
+        node.events.run_until(node.clock.now + 5.0)
+        assert session.ticks == ticks  # no posthumous collection
+
+
+class TestDeviceFailures:
+    def test_scif_peer_close_mid_session(self):
+        rig = phi_node(seed=56)
+        rig.sysmgmt.query_power_w()  # works
+        rig.sysmgmt._endpoint.close()
+        with pytest.raises((ScifDisconnectedError, Exception)):
+            rig.sysmgmt.query_power_w()
+
+    def test_msr_unload_revokes_device_nodes(self):
+        node, _ = rapl_node(seed=57)
+        node.kernel.rmmod("msr")
+        from repro.host.permissions import ROOT
+        from repro.rapl.driver import read_msr_userspace
+        from repro.rapl.msr import MSR_RAPL_POWER_UNIT
+
+        with pytest.raises(FileNotFoundVfsError):
+            read_msr_userspace(node, 0, MSR_RAPL_POWER_UNIT, ROOT)
+
+    def test_msr_permission_revocation(self):
+        node, _ = rapl_node(seed=58)
+        node.vfs.chmod("/dev/cpu/0/msr", 0o600)  # admin tightens access
+        from repro.rapl.driver import read_msr_userspace
+        from repro.rapl.msr import MSR_RAPL_POWER_UNIT
+
+        with pytest.raises(AccessDeniedError):
+            read_msr_userspace(node, 0, MSR_RAPL_POWER_UNIT, USER)
+
+    def test_ipmb_misaddressed_request_rejected(self):
+        rig = phi_node(seed=59)
+        responder = SmcIpmbResponder(rig.smc, rig.node.clock)
+        stray = IpmbMessage(rs_addr=0x42, net_fn=0x04, rq_addr=0x20,
+                            rq_seq=1, cmd=0x2D, data=b"\x00")
+        with pytest.raises(IpmbError, match="addressed"):
+            responder.handle(stray)
+
+    def test_ipmb_wrong_command_rejected(self):
+        rig = phi_node(seed=60)
+        responder = SmcIpmbResponder(rig.smc, rig.node.clock)
+        bad = IpmbMessage(rs_addr=0x30, net_fn=0x06, rq_addr=0x20,
+                          rq_seq=1, cmd=0x01, data=b"\x00")
+        with pytest.raises(IpmbError, match="unsupported"):
+            responder.handle(bad)

@@ -1,0 +1,80 @@
+"""Unit tests for the simulated kernel."""
+
+import pytest
+
+from repro.errors import DriverError
+from repro.host.kernel import (
+    PERF_RAPL_MIN_VERSION,
+    TYPICAL_2015_KERNEL,
+    Kernel,
+    KernelVersion,
+)
+
+
+class TestKernelVersion:
+    def test_ordering(self):
+        assert KernelVersion(3, 14) > KernelVersion(3, 13, 99)
+        assert KernelVersion(2, 6, 32) < KernelVersion(3, 0)
+
+    def test_parse(self):
+        assert KernelVersion.parse("3.14") == KernelVersion(3, 14, 0)
+        assert KernelVersion.parse("2.6.32") == KernelVersion(2, 6, 32)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(DriverError):
+            KernelVersion.parse("3")
+
+    def test_str(self):
+        assert str(KernelVersion(3, 14, 1)) == "3.14.1"
+
+
+class TestKernel:
+    def test_default_is_2015_typical_and_lacks_perf_rapl(self):
+        k = Kernel()
+        assert k.version == TYPICAL_2015_KERNEL
+        assert not k.supports_perf_rapl()
+
+    def test_new_kernel_supports_perf_rapl(self):
+        assert Kernel("3.14").supports_perf_rapl()
+        assert Kernel("4.2.1").supports_perf_rapl()
+        assert PERF_RAPL_MIN_VERSION == KernelVersion(3, 14)
+
+    def test_modprobe_loads_registered_module(self):
+        k = Kernel()
+        k.register_module("msr", lambda: {"name": "msr"})
+        module = k.modprobe("msr")
+        assert k.is_loaded("msr")
+        assert k.module("msr") is module
+
+    def test_modprobe_idempotent(self):
+        k = Kernel()
+        k.register_module("msr", list)
+        assert k.modprobe("msr") is k.modprobe("msr")
+
+    def test_modprobe_unknown_rejected(self):
+        with pytest.raises(DriverError):
+            Kernel().modprobe("nvidia")
+
+    def test_module_not_loaded_rejected(self):
+        k = Kernel()
+        k.register_module("msr", list)
+        with pytest.raises(DriverError):
+            k.module("msr")
+
+    def test_rmmod_calls_unload(self):
+        unloaded = []
+
+        class Mod:
+            def unload(self):
+                unloaded.append(True)
+
+        k = Kernel()
+        k.register_module("m", Mod)
+        k.modprobe("m")
+        k.rmmod("m")
+        assert unloaded == [True]
+        assert not k.is_loaded("m")
+
+    def test_rmmod_not_loaded_rejected(self):
+        with pytest.raises(DriverError):
+            Kernel().rmmod("msr")

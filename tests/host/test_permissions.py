@@ -1,0 +1,61 @@
+"""Unit tests for POSIX-style permission checks."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.host.permissions import (
+    R_OK,
+    ROOT,
+    USER,
+    W_OK,
+    X_OK,
+    Credentials,
+    check_access,
+    mode_allows,
+)
+
+
+def test_root_passes_everything():
+    assert mode_allows(0o000, 1000, 1000, ROOT, R_OK | W_OK | X_OK)
+
+
+def test_owner_triplet_used_for_owner():
+    creds = Credentials(uid=1000, gid=1000)
+    assert mode_allows(0o400, 1000, 1000, creds, R_OK)
+    assert not mode_allows(0o400, 1000, 1000, creds, W_OK)
+
+
+def test_group_triplet_used_for_group_member():
+    creds = Credentials(uid=2000, gid=1000)
+    assert mode_allows(0o040, 1000, 1000, creds, R_OK)
+    assert not mode_allows(0o004, 1000, 1000, creds, R_OK)
+
+
+def test_other_triplet_used_for_stranger():
+    creds = Credentials(uid=2000, gid=2000)
+    assert mode_allows(0o004, 1000, 1000, creds, R_OK)
+    assert not mode_allows(0o440, 1000, 1000, creds, R_OK)
+
+
+def test_all_requested_bits_must_be_present():
+    creds = Credentials(uid=1000, gid=1000)
+    assert not mode_allows(0o400, 1000, 1000, creds, R_OK | W_OK)
+    assert mode_allows(0o600, 1000, 1000, creds, R_OK | W_OK)
+
+
+def test_check_access_raises_with_context():
+    with pytest.raises(AccessDeniedError, match="read"):
+        check_access(0o600, 0, 0, USER, R_OK, "/dev/cpu/0/msr")
+
+
+def test_msr_scenario_root_only_then_chmod():
+    """The paper's RAPL gate: msr chardev is 0600 root-owned; a non-root
+    reader fails until it is given read-only access."""
+    assert not mode_allows(0o600, 0, 0, USER, R_OK)
+    assert mode_allows(0o444, 0, 0, USER, R_OK)  # after chmod a+r
+    assert not mode_allows(0o444, 0, 0, USER, W_OK)  # still read-only
+
+
+def test_is_root_property():
+    assert ROOT.is_root
+    assert not USER.is_root

@@ -1,0 +1,53 @@
+"""Unit tests for electricity tariffs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.host.pricing import Tariff
+from repro.units import HOUR
+
+
+class TestTariff:
+    def test_day_night_prices(self):
+        tariff = Tariff.day_night(on_peak=0.12, off_peak=0.04)
+        assert tariff.price_at(3 * HOUR) == 0.04   # 3 am
+        assert tariff.price_at(12 * HOUR) == 0.12  # noon
+        assert tariff.price_at(23 * HOUR) == 0.04  # 11 pm
+
+    def test_cycles_daily(self):
+        tariff = Tariff.day_night()
+        assert tariff.price_at(12 * HOUR) == tariff.price_at(36 * HOUR)
+
+    def test_flat(self):
+        tariff = Tariff.flat(0.08)
+        t = np.linspace(0, 48 * HOUR, 17)
+        assert np.all(tariff.price_at(t) == 0.08)
+
+    def test_cost_of_constant_load(self):
+        tariff = Tariff.flat(0.10)
+        times = np.linspace(0, HOUR, 61)
+        watts = np.full_like(times, 1000.0)  # 1 kW for 1 h = 1 kWh
+        assert tariff.cost(times, watts) == pytest.approx(0.10, rel=1e-9)
+
+    def test_cost_cheaper_off_peak(self):
+        tariff = Tariff.day_night(on_peak=0.12, off_peak=0.04)
+        times_night = np.linspace(0, 2 * HOUR, 121)          # midnight-2am
+        times_day = np.linspace(12 * HOUR, 14 * HOUR, 121)   # noon-2pm
+        watts = np.full_like(times_night, 1000.0)
+        night = tariff.cost(times_night, watts)
+        day = tariff.cost(times_day, watts)
+        assert day == pytest.approx(3.0 * night, rel=1e-9)
+
+    def test_cost_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            Tariff.flat().cost(np.zeros(3), np.zeros(4))
+
+    def test_cost_short_trace_is_zero(self):
+        assert Tariff.flat().cost(np.array([0.0]), np.array([5.0])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Tariff([25.0], [0.1, 0.2])
+        with pytest.raises(ConfigError):
+            Tariff([1.0], [-0.1, 0.2])

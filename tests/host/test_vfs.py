@@ -1,0 +1,207 @@
+"""Unit tests for the virtual filesystem."""
+
+import pytest
+
+from repro.errors import (
+    AccessDeniedError,
+    FileExistsVfsError,
+    FileNotFoundVfsError,
+    IsADirectoryVfsError,
+    NotADirectoryVfsError,
+    VfsError,
+)
+from repro.host.permissions import ROOT, USER, Credentials
+from repro.host.vfs import FileKind, VirtualFileSystem
+
+
+@pytest.fixture
+def vfs():
+    return VirtualFileSystem()
+
+
+class TestDirectories:
+    def test_mkdir_and_listdir(self, vfs):
+        vfs.mkdir("/a")
+        vfs.mkdir("/a/b")
+        assert vfs.listdir("/a") == ["b"]
+        assert vfs.is_dir("/a/b")
+
+    def test_mkdir_parents(self, vfs):
+        vfs.mkdir("/x/y/z", parents=True)
+        assert vfs.is_dir("/x/y/z")
+
+    def test_mkdir_missing_parent_rejected(self, vfs):
+        with pytest.raises(FileNotFoundVfsError):
+            vfs.mkdir("/nope/child")
+
+    def test_mkdir_existing_rejected(self, vfs):
+        vfs.mkdir("/a")
+        with pytest.raises(FileExistsVfsError):
+            vfs.mkdir("/a")
+
+    def test_relative_path_rejected(self, vfs):
+        with pytest.raises(VfsError):
+            vfs.mkdir("relative/path")
+
+
+class TestRegularFiles:
+    def test_create_read_roundtrip(self, vfs):
+        vfs.create_file("/f.txt", b"hello")
+        assert vfs.read_text("/f.txt") == "hello"
+
+    def test_write_appends(self, vfs):
+        vfs.create_file("/log", b"a")
+        with vfs.open("/log", "w") as fh:
+            fh.write(b"b")
+        assert vfs.read_text("/log") == "ab"
+
+    def test_write_text_replaces(self, vfs):
+        vfs.write_text("/f", "one")
+        vfs.write_text("/f", "two")
+        assert vfs.read_text("/f") == "two"
+
+    def test_exclusive_create_rejected(self, vfs):
+        vfs.create_file("/f")
+        with pytest.raises(FileExistsVfsError):
+            vfs.create_file("/f")
+
+    def test_partial_reads_advance_position(self, vfs):
+        vfs.create_file("/f", b"abcdef")
+        with vfs.open("/f") as fh:
+            assert fh.read(2) == b"ab"
+            assert fh.read(2) == b"cd"
+            assert fh.read() == b"ef"
+
+    def test_read_closed_handle_rejected(self, vfs):
+        vfs.create_file("/f", b"x")
+        fh = vfs.open("/f")
+        fh.close()
+        with pytest.raises(VfsError):
+            fh.read()
+
+    def test_open_directory_rejected(self, vfs):
+        vfs.mkdir("/d")
+        with pytest.raises(IsADirectoryVfsError):
+            vfs.open("/d")
+
+    def test_remove(self, vfs):
+        vfs.create_file("/f")
+        vfs.remove("/f")
+        assert not vfs.exists("/f")
+
+    def test_remove_nonempty_dir_rejected(self, vfs):
+        vfs.mkdir("/d")
+        vfs.create_file("/d/f")
+        with pytest.raises(VfsError):
+            vfs.remove("/d")
+
+    def test_traverse_through_file_rejected(self, vfs):
+        vfs.create_file("/f")
+        with pytest.raises(NotADirectoryVfsError):
+            vfs.create_file("/f/child")
+
+
+class TestDynamicFiles:
+    @pytest.fixture(autouse=True)
+    def _sys_dir(self, vfs):
+        vfs.mkdir("/sys")
+
+    def test_provider_called_per_open(self, vfs):
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return f"value {len(calls)}"
+
+        vfs.create_dynamic("/sys/power", provider)
+        assert vfs.read_text("/sys/power") == "value 1"
+        assert vfs.read_text("/sys/power") == "value 2"
+
+    def test_snapshot_stable_within_open(self, vfs):
+        counter = iter(range(100))
+        vfs.create_dynamic("/sys/x", lambda: str(next(counter)))
+        with vfs.open("/sys/x") as fh:
+            first = fh.read(1)
+            rest = fh.read()
+        assert (first + rest).decode() == "0"
+
+    def test_dynamic_not_writable(self, vfs):
+        vfs.create_dynamic("/sys/x", lambda: "1")
+        with pytest.raises(VfsError):
+            with vfs.open("/sys/x", "w", ROOT) as fh:
+                fh.write(b"no")
+
+    def test_kind(self, vfs):
+        vfs.create_dynamic("/sys/x", lambda: "1")
+        assert vfs.kind("/sys/x") is FileKind.DYNAMIC
+
+
+class TestCharDevices:
+    class EchoDev:
+        def pread(self, offset, size, creds):
+            return bytes([offset % 256] * size)
+
+        def pwrite(self, offset, data, creds):
+            return len(data)
+
+    def test_pread_dispatches_to_device(self, vfs):
+        vfs.mkdir("/dev")
+        vfs.create_chardev("/dev/echo", self.EchoDev())
+        with vfs.open("/dev/echo", "r", ROOT) as fh:
+            assert fh.pread(7, 3) == b"\x07\x07\x07"
+
+    def test_sequential_read_rejected_on_chardev(self, vfs):
+        vfs.mkdir("/dev")
+        vfs.create_chardev("/dev/echo", self.EchoDev())
+        with vfs.open("/dev/echo", "r", ROOT) as fh:
+            with pytest.raises(VfsError):
+                fh.read()
+
+    def test_pread_on_regular_file_rejected(self, vfs):
+        vfs.create_file("/f", b"x")
+        with vfs.open("/f") as fh:
+            with pytest.raises(VfsError):
+                fh.pread(0, 1)
+
+
+class TestPermissions:
+    def test_root_only_chardev_blocks_user(self, vfs):
+        vfs.mkdir("/dev")
+        vfs.create_chardev("/dev/msr0", TestCharDevices.EchoDev(), mode=0o600)
+        with pytest.raises(AccessDeniedError):
+            vfs.open("/dev/msr0", "r", USER)
+
+    def test_chmod_opens_access(self, vfs):
+        vfs.mkdir("/dev")
+        vfs.create_chardev("/dev/msr0", TestCharDevices.EchoDev(), mode=0o600)
+        vfs.chmod("/dev/msr0", 0o444)
+        fh = vfs.open("/dev/msr0", "r", USER)
+        assert fh.pread(0, 1) == b"\x00"
+
+    def test_chmod_by_non_owner_rejected(self, vfs):
+        vfs.create_file("/f", mode=0o600, creds=ROOT)
+        with pytest.raises(VfsError):
+            vfs.chmod("/f", 0o777, USER)
+
+    def test_chown_root_only(self, vfs):
+        vfs.create_file("/f")
+        with pytest.raises(VfsError):
+            vfs.chown("/f", 1000, 1000, USER)
+        vfs.chown("/f", 1000, 1000, ROOT)
+        vfs.chmod("/f", 0o600, Credentials(uid=1000, gid=1000))  # now owner
+
+    def test_owner_write_only_file(self, vfs):
+        vfs.create_file("/u", mode=0o200, creds=USER)
+        with pytest.raises(AccessDeniedError):
+            vfs.open("/u", "r", USER)
+        with vfs.open("/u", "w", USER) as fh:
+            fh.write(b"ok")
+
+
+class TestWalk:
+    def test_walk_lists_files_only(self, vfs):
+        vfs.mkdir("/a/b", parents=True)
+        vfs.create_file("/a/f1")
+        vfs.create_file("/a/b/f2")
+        assert vfs.walk("/") == ["/a/b/f2", "/a/f1"] or vfs.walk("/") == ["/a/f1", "/a/b/f2"]
+        assert set(vfs.walk("/a")) == {"/a/f1", "/a/b/f2"}

@@ -1,0 +1,147 @@
+"""Unit tests for the NVML API surface."""
+
+import pytest
+
+from repro.host.node import Node
+from repro.host.permissions import ROOT
+from repro.nvml.api import (
+    NVML_ERROR_INVALID_ARGUMENT,
+    NVML_ERROR_NOT_FOUND,
+    NVML_ERROR_NOT_SUPPORTED,
+    NVML_ERROR_UNINITIALIZED,
+    NvmlError,
+    NvmlLibrary,
+)
+from repro.nvml.device import FERMI_M2090, KEPLER_K20, GpuDevice
+from repro.sim.rng import RngRegistry
+from repro.workloads.vectoradd import VectorAddWorkload
+
+
+@pytest.fixture
+def node():
+    n = Node("gpu-host")
+    n.attach("gpu", GpuDevice(KEPLER_K20, rng=RngRegistry(5), index=0))
+    n.attach("gpu", GpuDevice(FERMI_M2090, rng=RngRegistry(6), index=1))
+    return n
+
+
+@pytest.fixture
+def nvml(node):
+    library = NvmlLibrary(node)
+    library.init()
+    return library
+
+
+class TestLifecycle:
+    def test_queries_require_init(self, node):
+        library = NvmlLibrary(node)
+        with pytest.raises(NvmlError) as exc:
+            library.device_get_count()
+        assert exc.value.code == NVML_ERROR_UNINITIALIZED
+
+    def test_shutdown_invalidates(self, nvml):
+        nvml.shutdown()
+        with pytest.raises(NvmlError):
+            nvml.device_get_count()
+
+    def test_handles_stale_after_reinit(self, nvml):
+        handle = nvml.device_get_handle_by_index(0)
+        nvml.shutdown()
+        nvml.init()
+        with pytest.raises(NvmlError):
+            nvml.device_get_power_usage(handle)
+
+
+class TestEnumeration:
+    def test_count(self, nvml):
+        assert nvml.device_get_count() == 2
+
+    def test_bad_index(self, nvml):
+        with pytest.raises(NvmlError) as exc:
+            nvml.device_get_handle_by_index(7)
+        assert exc.value.code == NVML_ERROR_NOT_FOUND
+
+    def test_name(self, nvml):
+        handle = nvml.device_get_handle_by_index(0)
+        assert nvml.device_get_name(handle) == "Tesla K20"
+
+
+class TestPowerUsage:
+    def test_returns_integer_milliwatts(self, nvml):
+        handle = nvml.device_get_handle_by_index(0)
+        mw = nvml.device_get_power_usage(handle)
+        assert isinstance(mw, int)
+        # Idle K20 ~44 W, +/-5 W accuracy.
+        assert 38_000 < mw < 50_000
+
+    def test_pre_kepler_not_supported(self, nvml):
+        handle = nvml.device_get_handle_by_index(1)
+        with pytest.raises(NvmlError) as exc:
+            nvml.device_get_power_usage(handle)
+        assert exc.value.code == NVML_ERROR_NOT_SUPPORTED
+
+    def test_query_charges_1_3ms(self, nvml, node):
+        handle = nvml.device_get_handle_by_index(0)
+        t0 = node.clock.now
+        nvml.device_get_power_usage(handle)
+        elapsed = node.clock.now - t0
+        assert elapsed == pytest.approx(1.3e-3, rel=0.1)  # "about 1.3 ms"
+
+    def test_process_accounting(self, nvml, node):
+        proc = node.spawn("profiler")
+        nvml.attach_process(proc)
+        handle = nvml.device_get_handle_by_index(0)
+        nvml.device_get_power_usage(handle)
+        assert proc.cpu_seconds == pytest.approx(nvml.query_latency_s)
+
+    def test_whole_board_scope(self, nvml, node):
+        """Power under a memory-bound workload includes the GDDR draw —
+        the 'entire board including memory' behaviour."""
+        gpu = node.device("gpu", 0)
+        gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
+        node.clock.advance_to(50.0)
+        handle = nvml.device_get_handle_by_index(0)
+        mw = nvml.device_get_power_usage(handle)
+        assert mw > 100_000  # far above any die-only figure
+
+
+class TestOtherQueries:
+    def test_temperature(self, nvml):
+        handle = nvml.device_get_handle_by_index(0)
+        temp = nvml.device_get_temperature(handle)
+        assert 30 <= temp <= 50
+
+    def test_temperature_bad_sensor(self, nvml):
+        handle = nvml.device_get_handle_by_index(0)
+        with pytest.raises(NvmlError) as exc:
+            nvml.device_get_temperature(handle, sensor=3)
+        assert exc.value.code == NVML_ERROR_INVALID_ARGUMENT
+
+    def test_memory_info(self, nvml):
+        handle = nvml.device_get_handle_by_index(0)
+        info = nvml.device_get_memory_info(handle)
+        assert info.total == KEPLER_K20.vram_bytes
+        assert info.used + info.free == info.total
+
+    def test_fan_and_clocks(self, nvml):
+        handle = nvml.device_get_handle_by_index(0)
+        assert nvml.device_get_fan_speed(handle) > 1000
+        assert nvml.device_get_clock_info(handle, "sm") == 324  # idle
+
+    def test_power_limit_get_set_requires_root(self, nvml, node):
+        handle = nvml.device_get_handle_by_index(0)
+        user_proc = node.spawn("app")
+        nvml.attach_process(user_proc)
+        with pytest.raises(NvmlError):
+            nvml.device_set_power_management_limit(handle, 150_000)
+        root_proc = node.spawn("admin", ROOT)
+        nvml.attach_process(root_proc)
+        nvml.device_set_power_management_limit(handle, 150_000)
+        assert nvml.device_get_power_management_limit(handle) == 150_000
+
+    def test_power_limit_out_of_range_maps_to_invalid_argument(self, nvml, node):
+        handle = nvml.device_get_handle_by_index(0)
+        nvml.attach_process(node.spawn("admin", ROOT))
+        with pytest.raises(NvmlError) as exc:
+            nvml.device_set_power_management_limit(handle, 10_000)
+        assert exc.value.code == NVML_ERROR_INVALID_ARGUMENT

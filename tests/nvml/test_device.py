@@ -1,0 +1,141 @@
+"""Unit tests for the GPU board model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DeviceError
+from repro.nvml.device import FERMI_M2090, KEPLER_K20, KEPLER_K40, GpuDevice
+from repro.nvml.pcie import PcieBus
+from repro.sim.rng import RngRegistry
+from repro.workloads.noop import GpuNoopWorkload
+from repro.workloads.vectoradd import VectorAddWorkload
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice(KEPLER_K20, rng=RngRegistry(21))
+
+
+class TestModels:
+    def test_k20_matches_paper_specs(self):
+        assert KEPLER_K20.cuda_cores == 2496
+        assert KEPLER_K20.peak_dp_tflops == 1.17
+        assert KEPLER_K20.vram_bytes == 5 * 1024**3
+        assert KEPLER_K20.supports_power_readings
+
+    def test_only_kepler_supports_power(self):
+        assert KEPLER_K40.supports_power_readings
+        assert not FERMI_M2090.supports_power_readings
+
+    def test_documented_accuracy_and_update(self):
+        assert KEPLER_K20.power_accuracy_w == 5.0
+        assert KEPLER_K20.power_update_s == 0.060
+
+
+class TestPower:
+    def test_idle_floor(self, gpu):
+        assert gpu.true_power(1.0) == KEPLER_K20.board_idle_w
+
+    def test_noop_levels_off_near_55w(self, gpu):
+        gpu.board.schedule(GpuNoopWorkload(duration=12.5))
+        late = float(gpu.true_power(10.0))
+        assert 52.0 < late < 58.0
+
+    def test_vector_add_compute_power_in_band(self, gpu):
+        gpu.board.schedule(VectorAddWorkload())
+        p = float(gpu.true_power(50.0))
+        assert 120.0 < p < 150.0  # Figure 5's compute plateau
+
+    def test_power_sensor_held_between_updates(self, gpu):
+        # Window k=17 spans [1.02, 1.08) at the 60 ms cadence.
+        r1 = gpu.power_sensor.read(1.021)
+        r2 = gpu.power_sensor.read(1.079)
+        assert r1 == r2
+
+    def test_power_sensor_within_documented_accuracy(self, gpu):
+        t = np.arange(0.06, 30.0, 0.06)
+        readings = gpu.power_sensor.read(t)
+        assert np.all(np.abs(readings - KEPLER_K20.board_idle_w) <= 5.001)
+
+
+class TestThermal:
+    def test_temperature_rises_under_load(self, gpu):
+        gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
+        t = np.linspace(20.0, 90.0, 30)
+        temps = gpu.temperature_c(t)
+        assert np.all(np.diff(temps) > 0)
+        assert 55.0 < temps[-1] < 75.0  # Figure 5 tops out ~65 C
+
+    def test_idle_temperature_modest(self, gpu):
+        assert 35.0 < float(gpu.temperature_c(5.0)) < 45.0
+
+    def test_fan_tracks_temperature(self, gpu):
+        gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
+        assert gpu.fan_speed_rpm(90.0) > gpu.fan_speed_rpm(1.0)
+
+
+class TestMemory:
+    def test_allocate_and_free(self, gpu):
+        before = gpu.memory_used
+        gpu.allocate(1024**3)
+        assert gpu.memory_used == before + 1024**3
+        gpu.free(1024**3)
+        assert gpu.memory_used == before
+
+    def test_oom(self, gpu):
+        with pytest.raises(DeviceError):
+            gpu.allocate(KEPLER_K20.vram_bytes)
+
+    def test_over_free_rejected(self, gpu):
+        with pytest.raises(ConfigError):
+            gpu.free(1)
+
+    def test_reserved_overhead_present(self, gpu):
+        assert gpu.memory_used > 0
+        assert gpu.memory_free < KEPLER_K20.vram_bytes
+
+
+class TestClocksAndLimits:
+    def test_clocks_idle_vs_busy(self, gpu):
+        gpu.board.schedule(VectorAddWorkload(), t_start=10.0)
+        assert gpu.clock_mhz("sm", 5.0) == 324
+        assert gpu.clock_mhz("sm", 60.0) == KEPLER_K20.base_clock_mhz
+        assert gpu.clock_mhz("mem", 60.0) == KEPLER_K20.mem_clock_mhz
+
+    def test_unknown_clock_domain_rejected(self, gpu):
+        with pytest.raises(ConfigError):
+            gpu.clock_mhz("tensor", 0.0)
+
+    def test_power_limit_caps_board(self, gpu):
+        gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
+        gpu.set_power_limit(120.0, t=30.0)
+        assert float(gpu.true_power(50.0)) == 120.0
+
+    def test_power_limit_range_enforced(self, gpu):
+        with pytest.raises(DeviceError):
+            gpu.set_power_limit(10.0, t=0.0)
+        with pytest.raises(DeviceError):
+            gpu.set_power_limit(500.0, t=0.0)
+
+
+class TestPcie:
+    def test_small_transfers_latency_bound(self):
+        bus = PcieBus()
+        assert bus.transfer_time(64) == pytest.approx(bus.latency_s, rel=0.001)
+
+    def test_large_transfers_bandwidth_bound(self):
+        bus = PcieBus()
+        one_gb = bus.transfer_time(10**9)
+        assert one_gb > 0.1
+
+    def test_round_trip_near_paper_query_cost(self):
+        # Two small transactions ~1.1 ms; with dispatch this is ~1.3 ms.
+        assert PcieBus().round_trip_time() == pytest.approx(1.1e-3, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PcieBus(latency_s=-1.0)
+        with pytest.raises(ConfigError):
+            PcieBus(bandwidth_Bps=0.0)
+        with pytest.raises(ConfigError):
+            PcieBus().transfer_time(-1)

@@ -1,0 +1,49 @@
+"""Unit tests for the extended NVML queries (utilization, PCIe
+throughput)."""
+
+import pytest
+
+from repro.testbeds import gpu_node
+from repro.workloads.vectoradd import VectorAddWorkload
+
+
+@pytest.fixture
+def loaded():
+    node, gpu, nvml = gpu_node(seed=66)
+    gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
+    handle = nvml.device_get_handle_by_index(0)
+    return node, gpu, nvml, handle
+
+
+class TestUtilizationRates:
+    def test_idle_before_work(self, loaded):
+        node, gpu, nvml, handle = loaded
+        gpu_pct, mem_pct = nvml.device_get_utilization_rates(handle)
+        assert gpu_pct < 15 and mem_pct == 0  # datagen phase
+
+    def test_busy_during_compute(self, loaded):
+        node, gpu, nvml, handle = loaded
+        node.clock.advance_to(50.0)
+        gpu_pct, mem_pct = nvml.device_get_utilization_rates(handle)
+        assert gpu_pct > 70
+        assert mem_pct == 90
+
+    def test_charges_query_cost(self, loaded):
+        node, _, nvml, handle = loaded
+        t0 = node.clock.now
+        nvml.device_get_utilization_rates(handle)
+        assert node.clock.now - t0 == pytest.approx(nvml.query_latency_s)
+
+
+class TestPcieThroughput:
+    def test_transfer_phase_saturates_link(self, loaded):
+        node, gpu, nvml, handle = loaded
+        node.clock.advance_to(11.5)  # inside the 10-13 s H2D transfer
+        kbps = nvml.device_get_pcie_throughput(handle)
+        assert kbps > 5_000_000  # ~5.6 GB/s of a 6 GB/s link
+
+    def test_compute_phase_near_quiet(self, loaded):
+        node, gpu, nvml, handle = loaded
+        node.clock.advance_to(50.0)
+        kbps = nvml.device_get_pcie_throughput(handle)
+        assert kbps < 500_000

@@ -1,0 +1,57 @@
+"""Unit tests for the nvidia-smi-style renderer."""
+
+import pytest
+
+from repro.host.node import Node
+from repro.nvml.api import NvmlLibrary
+from repro.nvml.device import FERMI_M2090, KEPLER_K20, GpuDevice
+from repro.nvml.smi import render_smi
+from repro.sim.rng import RngRegistry
+from repro.workloads.vectoradd import VectorAddWorkload
+
+
+@pytest.fixture
+def node():
+    n = Node("smi-host", rng=RngRegistry(305))
+    n.attach("gpu", GpuDevice(KEPLER_K20, rng=n.rng.fork("g0"), index=0))
+    n.attach("gpu", GpuDevice(FERMI_M2090, rng=n.rng.fork("g1"), index=1))
+    return n
+
+
+def test_renders_all_devices(node):
+    nvml = NvmlLibrary(node)
+    nvml.init()
+    text = render_smi(nvml)
+    assert "Tesla K20" in text
+    assert "Tesla M2090" in text
+    assert "2 device(s)" in text
+
+
+def test_pre_kepler_power_shows_na(node):
+    nvml = NvmlLibrary(node)
+    nvml.init()
+    text = render_smi(nvml)
+    assert "N/A (pre-Kepler)" in text
+    assert "W/" in text  # the K20 row still shows power/cap
+
+
+def test_utilization_reflects_load(node):
+    gpu = node.device("gpu", 0)
+    gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
+    node.clock.advance_to(50.0)
+    nvml = NvmlLibrary(node)
+    nvml.init()
+    text = render_smi(nvml)
+    k20_row = next(l for l in text.splitlines() if "Tesla K20" in l)
+    # 85% SM / 90% memory during the compute phase.
+    assert "90%" in k20_row
+
+
+def test_rendering_charges_query_costs(node):
+    nvml = NvmlLibrary(node)
+    nvml.init()
+    t0 = node.clock.now
+    render_smi(nvml)
+    # 5 charged queries for the K20 + 3 for the Fermi (its power query
+    # raises NOT_SUPPORTED before charging; names are free).
+    assert node.clock.now - t0 == pytest.approx(8 * nvml.query_latency_s)

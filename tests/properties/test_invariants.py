@@ -1,0 +1,152 @@
+"""Property-based tests of cross-cutting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.load import LoadBoard
+from repro.devices.power import ComponentPowerModel, LimitedSignal
+from repro.host.pricing import Tariff
+from repro.runtime.launcher import Launcher
+from repro.runtime.ops import Compute, Recv, Send
+from repro.sim.sensor import CounterSensor, SampledSensor
+from repro.sim.noise import UniformNoise
+from repro.sim.signals import ConstantSignal
+from repro.units import HOUR
+from repro.workloads.base import Component, Phase, PhasedWorkload
+
+
+class TestCounterSensorInvariants:
+    @given(
+        power=st.floats(min_value=0.1, max_value=500.0),
+        t0=st.floats(min_value=0.0, max_value=50.0),
+        dt=st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_delta_accurate_below_wrap(self, power, t0, dt):
+        """Single-wrap decoding is exact (to quantization) whenever the
+        read interval is below the wrap period."""
+        counter = CounterSensor(ConstantSignal(power), unit=0.01,
+                                width_bits=20, update_interval=0.01, dt=0.01)
+        if dt >= counter.wrap_period(power):
+            return  # out of scope for this property
+        decoded = counter.delta(t0, t0 + dt)
+        true = power * dt
+        # Error bounded by update quantization + counter LSB on each end.
+        bound = 2 * (power * counter.update_interval + counter.unit) + 1e-6
+        assert abs(decoded - true) <= bound
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_raw_is_nonnegative_and_bounded(self, t):
+        counter = CounterSensor(ConstantSignal(5.0), unit=0.5, width_bits=8)
+        raw = int(counter.raw(t))
+        assert 0 <= raw < 256
+
+
+class TestSampledSensorInvariants:
+    @given(
+        level=st.floats(min_value=1.0, max_value=500.0),
+        width=st.floats(min_value=0.0, max_value=10.0),
+        t=st.floats(min_value=0.0, max_value=1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_noise_bounded(self, level, width, t):
+        sensor = SampledSensor(ConstantSignal(level), update_interval=0.06,
+                               noise=UniformNoise(width), seed=9)
+        assert abs(float(sensor.read(t)) - level) <= width + 1e-12
+
+
+class TestPowerModelInvariants:
+    @given(
+        idle=st.floats(min_value=0.0, max_value=100.0),
+        dyn=st.floats(min_value=0.0, max_value=300.0),
+        level=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_power_within_idle_peak_envelope(self, idle, dyn, level):
+        board = LoadBoard()
+        board.schedule(PhasedWorkload(
+            "w", [Phase("p", 10.0, {Component.CPU_CORES: level})]
+        ))
+        model = ComponentPowerModel(board, idle, {Component.CPU_CORES: dyn})
+        p = float(model.power(5.0))
+        assert idle - 1e-9 <= p <= model.peak_w + 1e-9
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=1.0, max_value=1000.0),
+    ), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_limited_signal_never_exceeds_active_cap(self, changes):
+        sig = LimitedSignal(ConstantSignal(1e6))
+        t = 0.0
+        for dt, cap in changes:
+            t += dt
+            sig.set_limit(t, cap)
+        probe = t + 1.0
+        assert float(sig.value(probe)) <= sig.current_limit(probe) + 1e-9
+
+
+class TestWorkloadInvariants:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_utilization_integral_bounded_by_duration(self, phase_specs):
+        phases = [Phase(f"p{i}", d, {Component.CPU_CORES: u})
+                  for i, (d, u) in enumerate(phase_specs)]
+        w = PhasedWorkload("w", phases)
+        t = np.linspace(-1.0, w.duration + 1.0, 400)
+        u = w.utilization(Component.CPU_CORES, t)
+        integral = np.trapezoid(u, t)
+        assert -1e-9 <= integral <= w.duration + 1e-6
+
+
+class TestTariffInvariants:
+    @given(
+        on_peak=st.floats(min_value=0.01, max_value=1.0),
+        off_peak=st.floats(min_value=0.0, max_value=1.0),
+        watts=st.floats(min_value=0.0, max_value=1e6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cost_nonnegative_and_linear_in_power(self, on_peak, off_peak, watts):
+        tariff = Tariff.day_night(on_peak=on_peak, off_peak=off_peak)
+        times = np.linspace(0.0, 6 * HOUR, 50)
+        base = tariff.cost(times, np.full_like(times, watts))
+        assert base >= 0.0
+        double = tariff.cost(times, np.full_like(times, 2.0 * watts))
+        assert double == pytest.approx(2.0 * base, rel=1e-9)
+
+
+class TestLauncherInvariants:
+    @given(
+        ranks=st.integers(min_value=2, max_value=6),
+        rounds=st.integers(min_value=1, max_value=8),
+        compute_ms=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ring_program_deterministic_and_conserves_messages(
+            self, ranks, rounds, compute_ms):
+        def program(ctx):
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            total = 0
+            for r in range(rounds):
+                yield Compute(compute_ms / 1000.0)
+                yield Send(dest=right, payload=ctx.rank, tag=r)
+                total += (yield Recv(source=left, tag=r))
+            return total
+
+        a = Launcher(program, size=ranks).run()
+        b = Launcher(program, size=ranks).run()
+        assert [r.value for r in a] == [r.value for r in b]
+        assert [r.finish_time for r in a] == [r.finish_time for r in b]
+        sent = sum(r.messages_sent for r in a)
+        received = sum(r.messages_received for r in a)
+        assert sent == received == ranks * rounds
+        # Each rank accumulated its left neighbour's id every round.
+        for i, result in enumerate(a):
+            assert result.value == ((i - 1) % ranks) * rounds

@@ -1,0 +1,71 @@
+"""Property tests for the virtual SIGALRM timer."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+from repro.sim.timers import PeriodicTimer
+
+
+@given(
+    interval=st.floats(min_value=0.01, max_value=5.0),
+    horizon=st.floats(min_value=0.1, max_value=50.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_tick_count_is_floor_of_horizon_over_interval(interval, horizon):
+    """With a zero-cost handler, exactly floor(horizon/interval) ticks
+    fire in (0, horizon] — the identity MonEQ's sample counts rely on."""
+    queue = EventQueue()
+    ticks = []
+    PeriodicTimer(queue, interval, lambda t, i: ticks.append(t))
+    queue.run_until(horizon)
+    # Exact float characterization: ticks are the k >= 1 with
+    # k*interval <= horizon under IEEE arithmetic.
+    expected = sum(
+        1 for k in range(1, math.ceil(horizon / interval) + 2)
+        if k * interval <= horizon
+    )
+    assert len(ticks) == expected
+    # Ticks land on the grid, strictly increasing.
+    for k, t in enumerate(ticks, start=1):
+        assert t == k * interval
+    assert ticks == sorted(ticks)
+
+
+@given(
+    interval=st.floats(min_value=0.05, max_value=1.0),
+    cost_fraction=st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_fired_plus_coalesced_covers_all_deadlines(interval, cost_fraction):
+    """However long the handler runs, every nominal deadline is either
+    fired or counted as coalesced — none silently vanish."""
+    queue = EventQueue()
+    cost = cost_fraction * interval
+
+    def handler(t, i):
+        queue.clock.advance(cost)
+
+    timer = PeriodicTimer(queue, interval, handler)
+    horizon = 20.0 * interval
+    queue.run_until(horizon)
+    # Deadlines with nominal time <= (last processed point) are accounted.
+    accounted = timer.ticks_fired + timer.ticks_coalesced
+    nominal = math.floor(queue.clock.now / interval + 1e-9)
+    # The final pending deadline may still be in the future.
+    assert nominal - 1 <= accounted <= nominal + 1
+
+
+@given(st.floats(min_value=0.01, max_value=2.0))
+@settings(max_examples=25, deadline=None)
+def test_cancel_is_final(interval):
+    queue = EventQueue()
+    fired = []
+    timer = PeriodicTimer(queue, interval, lambda t, i: fired.append(t))
+    queue.run_until(3 * interval + 1e-6)
+    timer.cancel()
+    count = len(fired)
+    queue.run_until(10 * interval)
+    assert len(fired) == count

@@ -1,0 +1,104 @@
+"""Model-based property test: the VFS against a dict oracle."""
+
+import posixpath
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VfsError
+from repro.host.vfs import VirtualFileSystem
+
+NAMES = st.sampled_from(["a", "b", "c", "data", "log"])
+SEGMENTS = st.lists(NAMES, min_size=1, max_size=3)
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of (op, path, payload) actions."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        op = draw(st.sampled_from(["mkdir", "write", "remove", "read"]))
+        path = "/" + "/".join(draw(SEGMENTS))
+        payload = draw(st.sampled_from(["x", "hello", ""]))
+        ops.append((op, path, payload))
+    return ops
+
+
+class Oracle:
+    """A trivial reference model: dicts of dirs and files."""
+
+    def __init__(self):
+        self.dirs = {"/"}
+        self.files: dict[str, str] = {}
+
+    def parent_ok(self, path: str) -> bool:
+        return posixpath.dirname(path) in self.dirs
+
+    def mkdir(self, path):
+        if path in self.dirs or path in self.files or not self.parent_ok(path):
+            return False
+        self.dirs.add(path)
+        return True
+
+    def write(self, path, payload):
+        if path in self.dirs or not self.parent_ok(path):
+            return False
+        self.files[path] = payload
+        return True
+
+    def remove(self, path):
+        if path in self.files:
+            del self.files[path]
+            return True
+        if path in self.dirs and path != "/":
+            if any(d != path and d.startswith(path + "/") for d in self.dirs):
+                return False
+            if any(f.startswith(path + "/") for f in self.files):
+                return False
+            self.dirs.discard(path)
+            return True
+        return False
+
+    def read(self, path):
+        return self.files.get(path)
+
+
+@given(operations())
+@settings(max_examples=60, deadline=None)
+def test_vfs_agrees_with_oracle(ops):
+    vfs = VirtualFileSystem()
+    oracle = Oracle()
+    for op, path, payload in ops:
+        if op == "mkdir":
+            expected = oracle.mkdir(path)
+            try:
+                vfs.mkdir(path)
+                actual = True
+            except VfsError:
+                actual = False
+        elif op == "write":
+            expected = oracle.write(path, payload)
+            try:
+                vfs.write_text(path, payload)
+                actual = True
+            except VfsError:
+                actual = False
+        elif op == "remove":
+            expected = oracle.remove(path)
+            try:
+                vfs.remove(path)
+                actual = True
+            except VfsError:
+                actual = False
+        else:  # read
+            expected_content = oracle.read(path)
+            try:
+                actual_content = vfs.read_text(path)
+            except VfsError:
+                actual_content = None
+            assert actual_content == expected_content, (op, path)
+            continue
+        assert actual == expected, (op, path)
+    # Final state agrees.
+    for path, content in oracle.files.items():
+        assert vfs.read_text(path) == content

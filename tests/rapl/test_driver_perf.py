@@ -1,0 +1,134 @@
+"""Integration tests: msr driver and perf_event access paths."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, DriverError, KernelTooOldError
+from repro.host.kernel import Kernel
+from repro.host.node import Node
+from repro.host.permissions import ROOT, USER
+from repro.rapl.domains import RaplDomain
+from repro.rapl.driver import install_msr_driver, read_msr_userspace
+from repro.rapl.msr import MSR_PKG_ENERGY_STATUS, MSR_RAPL_POWER_UNIT
+from repro.rapl.package import SANDY_BRIDGE, CpuPackage
+from repro.rapl.perf_event import PERF_RAPL_EVENTS, PerfEventRapl
+from repro.sim.rng import RngRegistry
+
+
+def make_node(kernel_version="2.6.32"):
+    node = Node("n0", kernel=Kernel(kernel_version))
+    package = CpuPackage(SANDY_BRIDGE, rng=RngRegistry(11), logical_cpus=4)
+    node.attach("cpu", package)
+    install_msr_driver(node)
+    return node, package
+
+
+class TestMsrDriver:
+    def test_modprobe_creates_chardevs(self):
+        node, _ = make_node()
+        node.kernel.modprobe("msr")
+        for cpu in range(4):
+            assert node.vfs.exists(f"/dev/cpu/{cpu}/msr")
+
+    def test_no_devices_before_modprobe(self):
+        node, _ = make_node()
+        assert not node.vfs.exists("/dev/cpu/0/msr")
+
+    def test_root_only_by_default(self):
+        node, _ = make_node()
+        node.kernel.modprobe("msr")
+        with pytest.raises(AccessDeniedError):
+            read_msr_userspace(node, 0, MSR_RAPL_POWER_UNIT, USER)
+
+    def test_readonly_grant_opens_user_reads(self):
+        node, _ = make_node()
+        driver = node.kernel.modprobe("msr")
+        driver.grant_readonly_access()
+        value = read_msr_userspace(node, 0, MSR_RAPL_POWER_UNIT, USER)
+        assert value == 0xA1003
+
+    def test_read_charges_paper_latency(self):
+        node, _ = make_node()
+        node.kernel.modprobe("msr")
+        t0 = node.clock.now
+        read_msr_userspace(node, 0, MSR_PKG_ENERGY_STATUS, ROOT)
+        assert node.clock.now - t0 == pytest.approx(0.03e-3)
+
+    def test_all_logical_cpus_alias_same_package(self):
+        node, package = make_node()
+        node.kernel.modprobe("msr")
+        v0 = read_msr_userspace(node, 0, MSR_RAPL_POWER_UNIT, ROOT)
+        v3 = read_msr_userspace(node, 3, MSR_RAPL_POWER_UNIT, ROOT)
+        assert v0 == v3
+
+    def test_write_requires_root_even_after_chmod(self):
+        node, _ = make_node()
+        driver = node.kernel.modprobe("msr")
+        driver.grant_readonly_access()
+        node.vfs.chmod("/dev/cpu/0/msr", 0o666)  # even world-writable node
+        with node.vfs.open("/dev/cpu/0/msr", "rw", USER) as fh:
+            with pytest.raises(DriverError):
+                fh.pwrite(0x610, b"\x00" * 8)
+
+    def test_bad_read_size_rejected(self):
+        node, _ = make_node()
+        node.kernel.modprobe("msr")
+        with node.vfs.open("/dev/cpu/0/msr", "r", ROOT) as fh:
+            with pytest.raises(DriverError):
+                fh.pread(MSR_RAPL_POWER_UNIT, 4)
+
+    def test_unload_removes_nodes(self):
+        node, _ = make_node()
+        node.kernel.modprobe("msr")
+        node.kernel.rmmod("msr")
+        assert not node.vfs.exists("/dev/cpu/0/msr")
+
+    def test_driver_without_cpus_rejected(self):
+        node = Node("empty")
+        install_msr_driver(node)
+        with pytest.raises(DriverError):
+            node.kernel.modprobe("msr")
+
+    def test_query_latency_charged_to_attached_process(self):
+        node, _ = make_node()
+        driver = node.kernel.modprobe("msr")
+        proc = node.spawn("profiler")
+        driver.attach_process(proc)
+        read_msr_userspace(node, 0, MSR_PKG_ENERGY_STATUS, ROOT)
+        assert proc.cpu_seconds == pytest.approx(0.03e-3)
+
+
+class TestPerfEvent:
+    def test_old_kernel_rejected(self):
+        node, package = make_node("2.6.32")
+        with pytest.raises(KernelTooOldError):
+            PerfEventRapl(node, package)
+
+    def test_new_kernel_accepted(self):
+        node, package = make_node("3.14")
+        perf = PerfEventRapl(node, package)
+        assert "power/energy-pkg/" in perf.available_events()
+
+    def test_read_matches_msr_counter(self):
+        node, package = make_node("3.14")
+        perf = PerfEventRapl(node, package)
+        node.clock.advance(1.0)
+        joules = perf.read_joules("power/energy-pkg/")
+        # ~1 s idle at 5.5 W (plus the read latency slice).
+        assert joules == pytest.approx(SANDY_BRIDGE.idle_w * node.clock.now, rel=0.02)
+
+    def test_unknown_event_rejected(self):
+        node, package = make_node("3.14")
+        with pytest.raises(KeyError):
+            PerfEventRapl(node, package).read("power/energy-flux/")
+
+    def test_perf_slower_than_msr(self):
+        """The paper's expectation: kernel crossing costs more than a
+        direct register read."""
+        from repro.rapl.package import CpuPackage as Pkg
+        from repro.rapl.perf_event import PERF_READ_LATENCY_S
+
+        assert PERF_READ_LATENCY_S > Pkg.MSR_READ_LATENCY_S
+
+    def test_all_four_events_present(self):
+        assert len(PERF_RAPL_EVENTS) == 4
+        assert {d for d in PERF_RAPL_EVENTS.values()} == set(RaplDomain)

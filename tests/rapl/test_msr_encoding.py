@@ -1,0 +1,92 @@
+"""Unit tests for RAPL MSR register encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DriverError
+from repro.rapl.domains import RAPL_DOMAIN_TABLE, RaplDomain, domain_info
+from repro.rapl.msr import (
+    ENERGY_STATUS_MSR,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_RAPL_POWER_UNIT,
+    RaplUnits,
+    decode_power_limit,
+    decode_units,
+    encode_power_limit,
+    encode_units,
+)
+
+
+class TestUnits:
+    def test_sandy_bridge_defaults(self):
+        units = RaplUnits()
+        assert units.power_w == 0.125
+        assert units.energy_j == pytest.approx(15.3e-6, rel=0.01)
+        assert units.time_s == pytest.approx(976e-6, rel=0.01)
+
+    def test_roundtrip_default(self):
+        assert decode_units(encode_units(RaplUnits())) == RaplUnits()
+
+    @given(st.integers(0, 15), st.integers(0, 31), st.integers(0, 15))
+    def test_roundtrip_any(self, p, e, t):
+        units = RaplUnits(p, e, t)
+        assert decode_units(encode_units(units)) == units
+
+    def test_out_of_field_rejected(self):
+        with pytest.raises(DriverError):
+            encode_units(RaplUnits(power=16))
+
+    def test_default_raw_value_matches_sdm(self):
+        # 0xA1003: time=10, energy=16, power=3.
+        assert encode_units(RaplUnits()) == 0xA1003
+
+
+class TestPowerLimit:
+    def test_roundtrip(self):
+        units = RaplUnits()
+        raw = encode_power_limit(95.0, True, 0.01, units)
+        decoded = decode_power_limit(raw, units)
+        assert decoded.limit_w == pytest.approx(95.0, abs=units.power_w)
+        assert decoded.enabled
+        assert decoded.window_s == pytest.approx(0.01, abs=units.time_s)
+
+    def test_disabled_limit(self):
+        units = RaplUnits()
+        decoded = decode_power_limit(encode_power_limit(50.0, False, 0.0, units), units)
+        assert not decoded.enabled
+
+    def test_limit_resolution_is_power_unit(self):
+        units = RaplUnits()
+        decoded = decode_power_limit(encode_power_limit(50.0625, True, 0.0, units), units)
+        assert decoded.limit_w in (50.0, 50.125)  # snapped to 1/8 W
+
+    def test_overflow_rejected(self):
+        with pytest.raises(DriverError):
+            encode_power_limit(1e6, True, 0.0, RaplUnits())
+
+    def test_negative_rejected(self):
+        with pytest.raises(DriverError):
+            encode_power_limit(-1.0, True, 0.0, RaplUnits())
+
+    @given(st.floats(min_value=1.0, max_value=4000.0))
+    def test_decode_within_one_quantum(self, watts):
+        units = RaplUnits()
+        decoded = decode_power_limit(encode_power_limit(watts, True, 0.0, units), units)
+        assert abs(decoded.limit_w - watts) <= units.power_w / 2 + 1e-9
+
+
+class TestDomainTable:
+    def test_four_domains(self):
+        assert {row.domain for row in RAPL_DOMAIN_TABLE} == set(RaplDomain)
+
+    def test_pp1_not_meaningful_on_servers(self):
+        assert not domain_info(RaplDomain.PP1).meaningful_on_servers
+
+    def test_no_per_core_resolution_anywhere(self):
+        # The paper's scope limitation: socket-level only.
+        assert all(not row.per_core_resolution for row in RAPL_DOMAIN_TABLE)
+
+    def test_energy_status_addresses(self):
+        assert ENERGY_STATUS_MSR[RaplDomain.PKG] == MSR_PKG_ENERGY_STATUS == 0x611
+        assert MSR_RAPL_POWER_UNIT == 0x606

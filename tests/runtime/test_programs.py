@@ -1,0 +1,85 @@
+"""Integration tests for the ready-made SPMD programs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.interconnect import BGQ_TORUS, CLUSTER_FDR_IB
+from repro.runtime.programs import run_halo_exchange, run_mmps, run_reduction
+
+
+class TestMmpsProgram:
+    def test_achieved_rate_near_postal_model(self):
+        result = run_mmps(ranks=2, messages_per_rank=2000, message_bytes=32)
+        # The runtime charges injection overhead per message; drain and
+        # barrier add a tail, so agreement is high but < 1.
+        assert 0.5 < result.model_agreement <= 1.01
+
+    def test_millions_of_messages_per_second(self):
+        result = run_mmps(ranks=2, messages_per_rank=2000, message_bytes=32)
+        assert result.achieved_rate_per_rank > 1e6  # the benchmark's name
+
+    def test_large_messages_slower(self):
+        small = run_mmps(messages_per_rank=500, message_bytes=32)
+        large = run_mmps(messages_per_rank=500, message_bytes=1 << 20)
+        assert large.achieved_rate_per_rank < small.achieved_rate_per_rank / 10
+
+    def test_scales_to_many_pairs(self):
+        result = run_mmps(ranks=8, messages_per_rank=200)
+        assert result.elapsed_s > 0
+        assert result.ranks == 8
+
+    def test_odd_ranks_rejected(self):
+        with pytest.raises(ConfigError):
+            run_mmps(ranks=3)
+        with pytest.raises(ConfigError):
+            run_mmps(ranks=2, messages_per_rank=0)
+
+
+class TestHaloExchange:
+    def test_compute_dominates_at_coarse_grain(self):
+        result = run_halo_exchange(ranks=4, iterations=10, compute_s=0.5)
+        assert result.compute_fraction > 0.9
+
+    def test_communication_tax_grows_with_halo(self):
+        small = run_halo_exchange(iterations=10, halo_bytes=1024)
+        big = run_halo_exchange(iterations=10, halo_bytes=64 * 1024 * 1024)
+        assert big.elapsed_s > small.elapsed_s
+        assert big.compute_fraction < small.compute_fraction
+
+    def test_all_ranks_finish_together(self):
+        result = run_halo_exchange(ranks=6, iterations=5)
+        times = {r.finish_time for r in result.per_rank}
+        assert len(times) == 1  # trailing barrier
+
+    def test_slower_network_costs_more(self):
+        fast = run_halo_exchange(iterations=10, halo_bytes=8 << 20,
+                                 interconnect=BGQ_TORUS)
+        slow = run_halo_exchange(iterations=10, halo_bytes=8 << 20,
+                                 interconnect=CLUSTER_FDR_IB)
+        assert slow.elapsed_s > fast.elapsed_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_halo_exchange(ranks=1)
+        with pytest.raises(ConfigError):
+            run_halo_exchange(iterations=0)
+
+
+class TestReduction:
+    def test_allreduce_of_normalized_ranks(self):
+        # Round 1: sum((r+1)/P) = (P+1)/2; later rounds keep averaging.
+        result = run_reduction(ranks=4, rounds=1)
+        assert result.final_value == pytest.approx(2.5)
+
+    def test_rounds_cost_time(self):
+        short = run_reduction(rounds=2)
+        long = run_reduction(rounds=20)
+        assert long.elapsed_s > short.elapsed_s
+
+    def test_single_rank_degenerates_gracefully(self):
+        result = run_reduction(ranks=1, rounds=3, compute_s=0.1)
+        assert result.elapsed_s >= 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_reduction(ranks=0)

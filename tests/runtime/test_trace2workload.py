@@ -1,0 +1,136 @@
+"""Integration tests: trace-driven workloads from SPMD programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rapl.domains import RaplDomain
+from repro.rapl.package import SANDY_BRIDGE, CpuPackage
+from repro.runtime.launcher import Launcher
+from repro.runtime.ops import Barrier, Compute, Recv, Send
+from repro.runtime.trace2workload import busy_fraction_series, workload_from_program
+from repro.sim.rng import RngRegistry
+from repro.workloads.base import Component
+
+
+def halo_program(compute_s=0.2, iterations=10, halo_bytes=4 << 20):
+    def program(ctx):
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        for it in range(iterations):
+            yield Compute(compute_s)
+            yield Send(dest=right, payload=None, nbytes=halo_bytes, tag=2 * it)
+            yield Send(dest=left, payload=None, nbytes=halo_bytes, tag=2 * it + 1)
+            yield Recv(source=left, tag=2 * it)
+            yield Recv(source=right, tag=2 * it + 1)
+        yield Barrier()
+
+    return program
+
+
+class TestBusyRecording:
+    def test_compute_spans_recorded(self):
+        def program(ctx):
+            yield Compute(1.0)
+            yield Compute(0.5)
+
+        results = Launcher(program, size=1, record_busy=True).run()
+        # Contiguous compute merges into one span.
+        assert results[0].busy_spans == [(0.0, 1.5)]
+
+    def test_recording_off_by_default(self):
+        def program(ctx):
+            yield Compute(1.0)
+
+        results = Launcher(program, size=1).run()
+        assert results[0].busy_spans == []
+
+    def test_waits_are_not_busy(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Compute(2.0)
+                yield Send(dest=1, payload="x")
+            else:
+                yield Recv(source=0)  # waits ~2 s, idle
+
+        results = Launcher(program, size=2, record_busy=True).run()
+        rank1_busy = sum(t1 - t0 for t0, t1 in results[1].busy_spans)
+        assert rank1_busy < 0.01
+
+
+class TestBusyFractionSeries:
+    def test_fraction_bounds_and_shape(self):
+        results = Launcher(halo_program(), size=4, record_busy=True).run()
+        starts, fraction = busy_fraction_series(results, bucket_s=0.05)
+        assert np.all(fraction >= 0.0) and np.all(fraction <= 1.0)
+        assert len(starts) == len(fraction)
+
+    def test_fully_busy_program_is_all_ones(self):
+        def program(ctx):
+            yield Compute(1.0)
+
+        results = Launcher(program, size=3, record_busy=True).run()
+        _, fraction = busy_fraction_series(results, bucket_s=0.1)
+        np.testing.assert_allclose(fraction, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            busy_fraction_series([], bucket_s=0.1)
+
+
+class TestWorkloadFromProgram:
+    def test_halo_rhythm_appears_in_utilization(self):
+        """The sync stall every iteration shows up as periodic dips —
+        the program-derived analogue of Figure 3's rhythm.  Large halos
+        make the post-send wire wait (an idle window of ~wire time per
+        iteration) resolvable by the bucketing."""
+        workload, results = workload_from_program(
+            halo_program(compute_s=0.2, iterations=10, halo_bytes=1 << 30),
+            size=4, component=Component.CPU_CORES, bucket_s=0.02,
+        )
+        t = np.arange(0.0, workload.duration, 0.01)
+        u = workload.utilization(Component.CPU_CORES, t)
+        assert u.max() > 0.9
+        assert u.min() < 0.5  # dips during the exchange stalls
+        # Roughly one dip per iteration.
+        dips = np.sum((u[1:] < 0.5) & (u[:-1] >= 0.5))
+        assert 5 <= dips <= 15
+
+    def test_extra_components_scaled(self):
+        workload, _ = workload_from_program(
+            halo_program(), size=2, component=Component.CPU_CORES,
+            extra_components={Component.CPU_DRAM: 0.5},
+        )
+        t = workload.duration / 2.0
+        cores = workload.utilization(Component.CPU_CORES, t)
+        dram = workload.utilization(Component.CPU_DRAM, t)
+        assert dram == pytest.approx(0.5 * cores, abs=1e-9)
+
+    def test_traced_workload_drives_a_device(self):
+        """End-to-end: program trace -> workload -> RAPL package power."""
+        workload, _ = workload_from_program(
+            halo_program(compute_s=0.3, iterations=8), size=4,
+            component=Component.CPU_CORES,
+            extra_components={Component.CPU_DRAM: 0.4},
+        )
+        package = CpuPackage(SANDY_BRIDGE, rng=RngRegistry(67))
+        package.board.schedule(workload, t_start=1.0)
+        t = np.arange(1.0, 1.0 + workload.duration, 0.02)
+        power = package.true_power(RaplDomain.PKG, t)
+        assert power.max() > SANDY_BRIDGE.idle_w + 20.0
+        assert power.min() >= SANDY_BRIDGE.idle_w - 1e-9
+        assert power.max() - power.min() > 10.0  # the stalls are visible
+
+    def test_metadata_recorded(self):
+        workload, results = workload_from_program(
+            halo_program(), size=4, component=Component.CPU_CORES,
+        )
+        assert workload.metadata["ranks"] == 4
+        assert 0.0 < workload.metadata["mean_busy_fraction"] <= 1.0
+        assert len(results) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            workload_from_program(halo_program(), size=2,
+                                  component=Component.CPU_CORES,
+                                  peak_utilization=0.0)

@@ -1,0 +1,128 @@
+"""Unit tests for the power-aware scheduling extension."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.host.pricing import Tariff
+from repro.scheduling.pricing_sched import (
+    Job,
+    fcfs_schedule,
+    power_aware_schedule,
+    savings_percent,
+)
+from repro.units import HOUR
+
+
+def mixed_jobs():
+    """A day's batch submitted at 9:00: heavy simulations and light
+    analysis jobs."""
+    arrive = 9.0 * HOUR
+    heavy = [Job(f"sim-{i}", duration_s=4 * HOUR, mean_power_w=80_000.0, nodes=8,
+                 submit_s=arrive) for i in range(3)]
+    light = [Job(f"post-{i}", duration_s=2 * HOUR, mean_power_w=6_000.0, nodes=2,
+                 submit_s=arrive) for i in range(4)]
+    return heavy + light
+
+
+class TestJob:
+    def test_energy(self):
+        job = Job("j", duration_s=3600.0, mean_power_w=1000.0)
+        assert job.energy_kwh == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Job("j", duration_s=0.0, mean_power_w=1.0)
+        with pytest.raises(ConfigError):
+            Job("j", duration_s=1.0, mean_power_w=-1.0)
+        with pytest.raises(ConfigError):
+            Job("j", duration_s=1.0, mean_power_w=1.0, nodes=0)
+
+
+class TestFcfs:
+    def test_packs_in_submission_order(self):
+        tariff = Tariff.flat()
+        jobs = [Job("a", HOUR, 1000.0, nodes=4), Job("b", HOUR, 1000.0, nodes=4)]
+        outcome = fcfs_schedule(jobs, tariff, capacity=4)
+        starts = {p.job.name: p.t_start for p in outcome.placements}
+        assert starts["a"] == 0.0
+        assert starts["b"] >= HOUR  # capacity forces serialization
+
+    def test_parallel_when_capacity_allows(self):
+        outcome = fcfs_schedule(
+            [Job("a", HOUR, 1.0), Job("b", HOUR, 1.0)], Tariff.flat(), capacity=2,
+        )
+        assert all(p.t_start == 0.0 for p in outcome.placements)
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ConfigError):
+            fcfs_schedule([Job("a", HOUR, 1.0, nodes=9)], Tariff.flat(), capacity=4)
+
+    def test_horizon_overflow_rejected(self):
+        with pytest.raises(ConfigError):
+            fcfs_schedule(
+                [Job("a", 10 * HOUR, 1.0), Job("b", 10 * HOUR, 1.0)],
+                Tariff.flat(), capacity=1, horizon_s=12 * HOUR,
+            )
+
+
+class TestPowerAware:
+    def test_heavy_jobs_land_off_peak(self):
+        tariff = Tariff.day_night(on_peak=0.12, off_peak=0.04)
+        outcome = power_aware_schedule(mixed_jobs(), tariff, capacity=16)
+        for placement in outcome.placements:
+            if placement.job.mean_power_w > 50_000.0:
+                # Entirely outside the 9:00-21:00 on-peak window (modulo
+                # the 24 h cycle).
+                start_h = (placement.t_start / HOUR) % 24.0
+                end_h = start_h + placement.job.duration_s / HOUR
+                on_peak_overlap = max(0.0, min(end_h, 21.0) - max(start_h, 9.0))
+                assert on_peak_overlap == pytest.approx(0.0, abs=0.3)
+
+    def test_savings_in_papers_ballpark(self):
+        """Reference [2] reported up to 23% electricity-bill savings."""
+        tariff = Tariff.day_night(on_peak=0.12, off_peak=0.04)
+        baseline = fcfs_schedule(mixed_jobs(), tariff, capacity=16)
+        aware = power_aware_schedule(mixed_jobs(), tariff, capacity=16)
+        saved = savings_percent(baseline, aware)
+        assert 5.0 < saved <= 70.0
+        assert aware.cost_dollars < baseline.cost_dollars
+
+    def test_flat_tariff_gives_no_savings(self):
+        tariff = Tariff.flat(0.08)
+        baseline = fcfs_schedule(mixed_jobs(), tariff, capacity=16)
+        aware = power_aware_schedule(mixed_jobs(), tariff, capacity=16)
+        assert savings_percent(baseline, aware) == pytest.approx(0.0, abs=0.5)
+
+    def test_total_energy_conserved(self):
+        """Shifting changes *when*, not *how much*."""
+        tariff = Tariff.day_night()
+        jobs = mixed_jobs()
+        baseline = fcfs_schedule(jobs, tariff, capacity=16)
+        aware = power_aware_schedule(jobs, tariff, capacity=16)
+        assert {p.job.name for p in aware.placements} == {j.name for j in jobs}
+        base_kwh = sum(p.job.energy_kwh for p in baseline.placements)
+        aware_kwh = sum(p.job.energy_kwh for p in aware.placements)
+        assert aware_kwh == pytest.approx(base_kwh)
+
+    def test_capacity_respected(self):
+        tariff = Tariff.day_night()
+        outcome = power_aware_schedule(mixed_jobs(), tariff, capacity=16)
+        # Scan occupancy at fine resolution.
+        events = []
+        for p in outcome.placements:
+            events.append((p.t_start, p.job.nodes))
+            events.append((p.t_end, -p.job.nodes))
+        load, peak = 0, 0
+        for _, delta in sorted(events):
+            load += delta
+            peak = max(peak, load)
+        assert peak <= 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            power_aware_schedule([], Tariff.flat(), capacity=1)
+        with pytest.raises(ConfigError):
+            savings_percent(
+                fcfs_schedule([Job("a", HOUR, 0.0)], Tariff.flat(), 1),
+                fcfs_schedule([Job("a", HOUR, 0.0)], Tariff.flat(), 1),
+            )

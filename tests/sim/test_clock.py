@@ -1,0 +1,61 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(12.5).now == 12.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClockError):
+        VirtualClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == 2.0
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock()
+    assert clock.advance(3.0) == 3.0
+
+
+def test_advance_by_zero_is_allowed():
+    clock = VirtualClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ClockError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_absolute():
+    clock = VirtualClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = VirtualClock(5.0)
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+
+
+def test_advance_to_past_rejected():
+    clock = VirtualClock(5.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(4.999)

@@ -1,0 +1,65 @@
+"""Unit tests for cumulative integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.integrate import CumulativeIntegral
+from repro.sim.signals import ConstantSignal, RampSignal
+
+
+def test_constant_signal_integral():
+    ci = CumulativeIntegral(ConstantSignal(10.0), dt=0.01)
+    assert ci.value(5.0) == pytest.approx(50.0, rel=1e-6)
+
+
+def test_ramp_integral():
+    # Integral of t over [0, 4] = 8.
+    ci = CumulativeIntegral(RampSignal(0.0, 100.0, 0.0, 100.0), dt=0.01)
+    assert ci.value(4.0) == pytest.approx(8.0, rel=1e-4)
+
+
+def test_vectorized_monotone():
+    ci = CumulativeIntegral(ConstantSignal(3.0), dt=0.1)
+    t = np.linspace(0, 10, 53)
+    v = ci.value(t)
+    assert np.all(np.diff(v) >= 0)
+    np.testing.assert_allclose(v, 3.0 * t, rtol=1e-9)
+
+
+def test_between_window():
+    ci = CumulativeIntegral(ConstantSignal(2.0), dt=0.01)
+    assert ci.between(1.0, 3.0) == pytest.approx(4.0, rel=1e-6)
+
+
+def test_between_inverted_rejected():
+    ci = CumulativeIntegral(ConstantSignal(1.0))
+    with pytest.raises(SimulationError):
+        ci.between(2.0, 1.0)
+
+
+def test_negative_time_rejected():
+    ci = CumulativeIntegral(ConstantSignal(1.0))
+    with pytest.raises(SimulationError):
+        ci.value(-1.0)
+
+
+def test_bad_dt_rejected():
+    with pytest.raises(SimulationError):
+        CumulativeIntegral(ConstantSignal(1.0), dt=0.0)
+
+
+def test_grid_extension_is_consistent():
+    """Querying far, then near, then far again returns identical values
+    (the cache only grows, never recomputes)."""
+    ci = CumulativeIntegral(ConstantSignal(7.0), dt=0.05)
+    far1 = ci.value(100.0)
+    near = ci.value(1.0)
+    far2 = ci.value(100.0)
+    assert far1 == far2
+    assert near == pytest.approx(7.0, rel=1e-6)
+
+
+def test_zero_time_is_zero():
+    ci = CumulativeIntegral(ConstantSignal(123.0))
+    assert ci.value(0.0) == 0.0

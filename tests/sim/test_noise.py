@@ -1,0 +1,80 @@
+"""Unit tests for sensor noise models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.noise import (
+    ComposedNoise,
+    GaussianNoise,
+    NoNoise,
+    QuantizationNoise,
+    UniformNoise,
+)
+
+
+def test_no_noise_is_identity():
+    values = np.array([1.0, 2.0, 3.0])
+    np.testing.assert_array_equal(NoNoise().apply(1, np.arange(3), values), values)
+
+
+def test_gaussian_noise_deterministic_per_index():
+    model = GaussianNoise(0.5)
+    a = model.apply(1, np.arange(10), np.zeros(10))
+    b = model.apply(1, np.arange(10), np.zeros(10))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_gaussian_noise_scale():
+    model = GaussianNoise(2.0)
+    out = model.apply(1, np.arange(50_000), np.zeros(50_000))
+    assert abs(out.std() - 2.0) < 0.05
+    assert abs(out.mean()) < 0.05
+
+
+def test_gaussian_zero_sigma_is_identity():
+    values = np.array([5.0])
+    np.testing.assert_array_equal(GaussianNoise(0.0).apply(1, np.array([0]), values), values)
+
+
+def test_gaussian_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        GaussianNoise(-1.0)
+
+
+def test_uniform_noise_bounded():
+    model = UniformNoise(5.0)
+    out = model.apply(1, np.arange(10_000), np.full(10_000, 100.0))
+    assert np.all(out >= 95.0)
+    assert np.all(out <= 105.0)
+    # Spread should actually use the range, not hug the center.
+    assert out.max() - out.min() > 8.0
+
+
+def test_uniform_rejects_negative_width():
+    with pytest.raises(ValueError):
+        UniformNoise(-0.1)
+
+
+def test_quantization_floors_to_step():
+    model = QuantizationNoise(0.25)
+    out = model.apply(1, np.arange(3), np.array([0.3, 0.74, 1.0]))
+    np.testing.assert_allclose(out, [0.25, 0.5, 1.0])
+
+
+def test_quantization_rejects_bad_step():
+    with pytest.raises(ValueError):
+        QuantizationNoise(0.0)
+
+
+def test_composed_applies_in_order():
+    composed = ComposedNoise(GaussianNoise(0.0), QuantizationNoise(1.0))
+    out = composed.apply(1, np.arange(2), np.array([1.9, 2.1]))
+    np.testing.assert_array_equal(out, [1.0, 2.0])
+
+
+def test_composed_stages_use_distinct_seeds():
+    """Two Gaussian stages must not cancel or double identically."""
+    composed = ComposedNoise(GaussianNoise(1.0), GaussianNoise(1.0))
+    out = composed.apply(1, np.arange(50_000), np.zeros(50_000))
+    # Independent stages: variance adds (std ~ sqrt(2)).
+    assert abs(out.std() - np.sqrt(2.0)) < 0.05

@@ -1,0 +1,140 @@
+"""Unit and property tests for generic sensor models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SensorError
+from repro.sim.noise import GaussianNoise, UniformNoise
+from repro.sim.sensor import CounterSensor, SampledSensor
+from repro.sim.signals import ConstantSignal, RampSignal
+
+
+class TestSampledSensor:
+    def test_sample_and_hold_between_updates(self):
+        sensor = SampledSensor(
+            RampSignal(0.0, 10.0, 0.0, 100.0), update_interval=1.0,
+            noise=GaussianNoise(1.0), seed=42,
+        )
+        # Reads within the same update window are identical.
+        assert sensor.read(1.2) == sensor.read(1.8)
+        # And differ across windows (ramp truth + fresh noise).
+        assert sensor.read(1.2) != sensor.read(2.2)
+
+    def test_tracks_truth_within_noise(self):
+        sensor = SampledSensor(
+            ConstantSignal(55.0), update_interval=0.06,
+            noise=UniformNoise(5.0), seed=7,
+        )
+        t = np.arange(0.0, 60.0, 0.06)
+        readings = sensor.read(t)
+        assert np.all(np.abs(readings - 55.0) <= 5.0)
+        assert abs(readings.mean() - 55.0) < 0.3
+
+    def test_quantum_floors_reading(self):
+        sensor = SampledSensor(
+            ConstantSignal(1.23456), update_interval=1.0, quantum=0.001
+        )
+        assert sensor.read(0.5) == pytest.approx(1.234)
+
+    def test_phase_offsets_update_grid(self):
+        a = SampledSensor(RampSignal(0, 10, 0, 10), update_interval=1.0, phase=0.0)
+        b = SampledSensor(RampSignal(0, 10, 0, 10), update_interval=1.0, phase=0.5)
+        # At t=1.2, a last updated at 1.0, b at 0.5: domains sampled at
+        # different instants (paper's EMON inconsistency).
+        assert a.last_update_time(1.2) == 1.0
+        assert b.last_update_time(1.2) == 0.5
+        assert a.read(1.2) != b.read(1.2)
+
+    def test_staleness(self):
+        sensor = SampledSensor(ConstantSignal(0.0), update_interval=0.06)
+        assert sensor.staleness(0.09) == pytest.approx(0.03)
+
+    def test_read_before_first_update_holds_power_on_sample(self):
+        sensor = SampledSensor(ConstantSignal(5.0), update_interval=10.0)
+        assert sensor.read(1.0) == 5.0
+
+    def test_negative_time_rejected(self):
+        sensor = SampledSensor(ConstantSignal(0.0), update_interval=1.0)
+        with pytest.raises(SensorError):
+            sensor.read(-0.1)
+
+    def test_bad_update_interval_rejected(self):
+        with pytest.raises(SensorError):
+            SampledSensor(ConstantSignal(0.0), update_interval=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_read_is_idempotent(self, t):
+        sensor = SampledSensor(
+            ConstantSignal(10.0), update_interval=0.06, noise=GaussianNoise(0.5), seed=3
+        )
+        assert sensor.read(t) == sensor.read(t)
+
+
+class TestCounterSensor:
+    def test_counts_quanta_of_integral(self):
+        counter = CounterSensor(ConstantSignal(10.0), unit=1.0, update_interval=0.01)
+        # 10 W x 5 s = 50 J = 50 quanta.
+        assert counter.raw(5.0) == 50
+
+    def test_wraps_at_width(self):
+        counter = CounterSensor(
+            ConstantSignal(10.0), unit=1.0, width_bits=8, update_interval=0.01
+        )
+        # 10 W x 30 s = 300 J -> 300 mod 256 = 44.
+        assert counter.raw(30.0) == 44
+
+    def test_delta_decodes_single_wrap(self):
+        counter = CounterSensor(
+            ConstantSignal(10.0), unit=1.0, width_bits=8, update_interval=0.01
+        )
+        # Between t=20 (200 J) and t=30 (300 J -> wrapped) the true delta
+        # is 100 J; single-wrap decoding recovers it.
+        assert counter.delta(20.0, 30.0) == pytest.approx(100.0, abs=1.0)
+
+    def test_delta_wrong_after_double_wrap(self):
+        """The paper's RAPL failure mode: sampling slower than the wrap
+        period silently loses full wraps."""
+        counter = CounterSensor(
+            ConstantSignal(10.0), unit=1.0, width_bits=8, update_interval=0.01
+        )
+        true_delta = 10.0 * 60.0  # 600 J over a minute
+        decoded = counter.delta(0.0, 60.0)
+        assert decoded < true_delta  # silently underestimates
+        # It is off by an integer number of wraps.
+        missing = true_delta - decoded
+        assert missing == pytest.approx(round(missing / 256.0) * 256.0, abs=1.0)
+
+    def test_wrap_period(self):
+        counter = CounterSensor(ConstantSignal(1.0), unit=2.0**-16, width_bits=32)
+        # 2^32 x 2^-16 J = 65536 J; at 1000 W that's ~65.5 s — the paper's
+        # "more than about 60 seconds will result in erroneous data".
+        assert counter.wrap_period(1000.0) == pytest.approx(65.536)
+
+    def test_wrap_period_zero_rate_is_inf(self):
+        counter = CounterSensor(ConstantSignal(0.0), unit=1.0)
+        assert counter.wrap_period(0.0) == np.inf
+
+    def test_update_interval_snaps_reads(self):
+        counter = CounterSensor(ConstantSignal(100.0), unit=0.1, update_interval=1.0)
+        # Mid-interval reads see the last update.
+        assert counter.raw(1.0) == counter.raw(1.99)
+        assert counter.raw(2.0) > counter.raw(1.0)
+
+    def test_reads_out_of_order_rejected(self):
+        counter = CounterSensor(ConstantSignal(1.0), unit=1.0)
+        with pytest.raises(SensorError):
+            counter.delta(2.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(SensorError):
+            CounterSensor(ConstantSignal(1.0), unit=0.0)
+        with pytest.raises(SensorError):
+            CounterSensor(ConstantSignal(1.0), unit=1.0, width_bits=0)
+        with pytest.raises(SensorError):
+            CounterSensor(ConstantSignal(1.0), unit=1.0, update_interval=0.0)
+
+    def test_accumulated_is_exact_integral(self):
+        counter = CounterSensor(ConstantSignal(50.0), unit=1.0, update_interval=0.01)
+        assert counter.accumulated(10.0) == pytest.approx(500.0, rel=1e-6)

@@ -1,0 +1,147 @@
+"""Unit and property tests for continuous signals."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim.signals import (
+    ClippedSignal,
+    ConstantSignal,
+    ExponentialApproachSignal,
+    PeriodicPulseSignal,
+    PiecewiseConstantSignal,
+    RampSignal,
+    ScaledSignal,
+    SumSignal,
+)
+
+TIMES = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6), TIMES)
+def test_constant_signal(level, t):
+    assert ConstantSignal(level).value(t) == level
+
+
+def test_constant_signal_vectorized():
+    out = ConstantSignal(3.0).value(np.arange(5.0))
+    np.testing.assert_array_equal(out, np.full(5, 3.0))
+
+
+class TestPiecewiseConstant:
+    def test_levels_between_breaks(self):
+        sig = PiecewiseConstantSignal([1.0, 2.0], [10.0, 20.0, 30.0])
+        np.testing.assert_array_equal(
+            sig.value(np.array([0.5, 1.5, 2.5])), [10.0, 20.0, 30.0]
+        )
+
+    def test_right_continuous_at_breakpoint(self):
+        sig = PiecewiseConstantSignal([1.0], [0.0, 5.0])
+        assert sig.value(1.0) == 5.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            PiecewiseConstantSignal([1.0], [1.0])
+
+    def test_decreasing_breakpoints_rejected(self):
+        with pytest.raises(WorkloadError):
+            PiecewiseConstantSignal([2.0, 1.0], [0.0, 1.0, 2.0])
+
+
+class TestRamp:
+    def test_clamps_outside_window(self):
+        sig = RampSignal(1.0, 3.0, 0.0, 10.0)
+        assert sig.value(0.0) == 0.0
+        assert sig.value(5.0) == 10.0
+
+    def test_linear_inside(self):
+        sig = RampSignal(0.0, 4.0, 0.0, 8.0)
+        assert sig.value(1.0) == 2.0
+        assert sig.value(3.0) == 6.0
+
+    def test_downward_ramp(self):
+        sig = RampSignal(0.0, 2.0, 10.0, 0.0)
+        assert sig.value(1.0) == 5.0
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            RampSignal(2.0, 2.0, 0.0, 1.0)
+
+
+class TestExponentialApproach:
+    def test_flat_before_t0(self):
+        sig = ExponentialApproachSignal(5.0, 1.0, 44.0, 55.0)
+        assert sig.value(0.0) == 44.0
+        assert sig.value(5.0) == 44.0
+
+    def test_monotone_approach(self):
+        sig = ExponentialApproachSignal(0.0, 2.0, 44.0, 55.0)
+        t = np.linspace(0, 20, 100)
+        v = sig.value(t)
+        assert np.all(np.diff(v) >= 0)
+        assert v[-1] == pytest.approx(55.0, abs=0.01)
+
+    def test_reaches_63pct_at_tau(self):
+        sig = ExponentialApproachSignal(0.0, 3.0, 0.0, 1.0)
+        assert sig.value(3.0) == pytest.approx(1 - np.exp(-1))
+
+    def test_nonpositive_tau_rejected(self):
+        with pytest.raises(WorkloadError):
+            ExponentialApproachSignal(0.0, 0.0, 0.0, 1.0)
+
+
+class TestPeriodicPulse:
+    def test_pulse_active_in_duty_window(self):
+        sig = PeriodicPulseSignal(period=10.0, duty=0.2, amplitude=-5.0)
+        assert sig.value(1.0) == -5.0  # 0.1 of period: inside duty
+        assert sig.value(5.0) == 0.0  # 0.5 of period: outside
+
+    def test_pulse_repeats_each_period(self):
+        sig = PeriodicPulseSignal(period=10.0, duty=0.2, amplitude=-5.0)
+        assert sig.value(11.0) == -5.0
+        assert sig.value(25.0) == 0.0
+
+    def test_window_bounds(self):
+        sig = PeriodicPulseSignal(period=1.0, duty=0.5, amplitude=2.0, t0=10.0, t1=20.0)
+        assert sig.value(5.0) == 0.0
+        assert sig.value(10.1) == 2.0
+        assert sig.value(25.0) == 0.0
+
+    def test_bad_period_and_duty_rejected(self):
+        with pytest.raises(WorkloadError):
+            PeriodicPulseSignal(period=0.0, duty=0.5, amplitude=1.0)
+        with pytest.raises(WorkloadError):
+            PeriodicPulseSignal(period=1.0, duty=0.0, amplitude=1.0)
+        with pytest.raises(WorkloadError):
+            PeriodicPulseSignal(period=1.0, duty=1.5, amplitude=1.0)
+
+
+class TestCombinators:
+    def test_sum(self):
+        sig = SumSignal(ConstantSignal(1.0), ConstantSignal(2.0))
+        assert sig.value(0.0) == 3.0
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(WorkloadError):
+            SumSignal()
+
+    def test_scaled(self):
+        sig = ScaledSignal(ConstantSignal(2.0), gain=3.0, offset=1.0)
+        assert sig.value(0.0) == 7.0
+
+    def test_clipped(self):
+        sig = ClippedSignal(RampSignal(0.0, 10.0, 0.0, 10.0), lo=2.0, hi=8.0)
+        assert sig.value(0.0) == 2.0
+        assert sig.value(5.0) == 5.0
+        assert sig.value(10.0) == 8.0
+
+    def test_clip_bounds_validated(self):
+        with pytest.raises(WorkloadError):
+            ClippedSignal(ConstantSignal(0.0), lo=1.0, hi=0.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=5), TIMES)
+    def test_sum_equals_sum_of_parts(self, levels, t):
+        sig = SumSignal(*[ConstantSignal(x) for x in levels])
+        assert sig.value(t) == pytest.approx(sum(levels))

@@ -1,0 +1,133 @@
+"""Unit and property tests for trace containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.trace import TraceError, TraceSeries, TraceSet
+
+
+def series(values, dt=1.0, name="s", units="W"):
+    times = np.arange(len(values), dtype=float) * dt
+    return TraceSeries(times, np.asarray(values, dtype=float), name, units)
+
+
+class TestTraceSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            TraceSeries(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(TraceError):
+            TraceSeries(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+
+    def test_duration_and_interval(self):
+        s = series([1, 2, 3, 4], dt=0.5)
+        assert s.duration == pytest.approx(1.5)
+        assert s.sample_interval == pytest.approx(0.5)
+
+    def test_stats(self):
+        s = series([1.0, 2.0, 3.0])
+        assert s.mean() == 2.0
+        assert s.min() == 1.0
+        assert s.max() == 3.0
+        assert s.percentile(50) == 2.0
+        assert s.std() == pytest.approx(1.0)
+
+    def test_energy_constant_power(self):
+        s = series([100.0] * 11, dt=1.0)  # 100 W for 10 s
+        assert s.energy() == pytest.approx(1000.0)
+
+    def test_energy_empty_and_single(self):
+        assert series([]).energy() == 0.0
+        assert series([5.0]).energy() == 0.0
+
+    def test_between_window(self):
+        s = series([0, 1, 2, 3, 4, 5])
+        sub = s.between(1.5, 4.0)
+        np.testing.assert_array_equal(sub.times, [2.0, 3.0, 4.0])
+
+    def test_between_inverted_window_rejected(self):
+        with pytest.raises(TraceError):
+            series([1, 2]).between(2.0, 1.0)
+
+    def test_shift(self):
+        s = series([1, 2]).shift(10.0)
+        np.testing.assert_array_equal(s.times, [10.0, 11.0])
+
+    def test_resample_sample_and_hold(self):
+        s = TraceSeries(np.array([0.0, 1.0, 2.0]), np.array([10.0, 20.0, 30.0]))
+        r = s.resample(0.5)
+        np.testing.assert_array_equal(r.times, [0.0, 0.5, 1.0, 1.5, 2.0])
+        np.testing.assert_array_equal(r.values, [10.0, 10.0, 20.0, 20.0, 30.0])
+
+    def test_resample_validates_interval(self):
+        with pytest.raises(TraceError):
+            series([1, 2]).resample(0.0)
+
+    def test_add_requires_same_time_base(self):
+        a = series([1, 2])
+        b = series([3, 4], dt=2.0)
+        with pytest.raises(TraceError):
+            a.add(b)
+
+    def test_add_sums_pointwise(self):
+        total = series([1, 2]).add(series([3, 4]))
+        np.testing.assert_array_equal(total.values, [4.0, 6.0])
+
+    def test_to_rows(self):
+        assert series([7.0]).to_rows() == [(0.0, 7.0)]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e4), min_size=2, max_size=50))
+    def test_energy_bounded_by_extremes(self, values):
+        s = series(values)
+        assert s.min() * s.duration - 1e-9 <= s.energy() <= s.max() * s.duration + 1e-9
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=50))
+    def test_mean_between_min_and_max(self, values):
+        s = series(values)
+        assert s.min() - 1e-9 <= s.mean() <= s.max() + 1e-9
+
+
+class TestTraceSet:
+    def test_total_sums_series(self):
+        ts = TraceSet({"a": series([1, 2]), "b": series([10, 20])})
+        np.testing.assert_array_equal(ts.total().values, [11.0, 22.0])
+
+    def test_duplicate_name_rejected(self):
+        ts = TraceSet({"a": series([1])})
+        with pytest.raises(TraceError):
+            ts.add("a", series([2]))
+
+    def test_mismatched_time_base_rejected(self):
+        ts = TraceSet({"a": series([1, 2])})
+        with pytest.raises(TraceError):
+            ts.add("b", series([1, 2], dt=0.5))
+
+    def test_getitem_unknown_raises_with_names(self):
+        ts = TraceSet({"a": series([1])})
+        with pytest.raises(TraceError, match="'a'"):
+            ts["missing"]
+
+    def test_insertion_order_preserved(self):
+        ts = TraceSet()
+        for name in ["chip_core", "dram", "optics"]:
+            ts.add(name, series([1, 2]))
+        assert ts.names == ["chip_core", "dram", "optics"]
+
+    def test_to_table_shape(self):
+        ts = TraceSet({"a": series([1, 2]), "b": series([3, 4])})
+        header, table = ts.to_table()
+        assert header == ["time_s", "a", "b"]
+        assert table.shape == (2, 3)
+        np.testing.assert_array_equal(table[:, 0], [0.0, 1.0])
+
+    def test_empty_total_rejected(self):
+        with pytest.raises(TraceError):
+            TraceSet().total()
+
+    def test_contains_and_len(self):
+        ts = TraceSet({"a": series([1])})
+        assert "a" in ts and "b" not in ts
+        assert len(ts) == 1

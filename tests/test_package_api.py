@@ -1,0 +1,63 @@
+"""Meta-tests of the public API surface: importability, __all__
+integrity, and documentation coverage."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.sim", "repro.host", "repro.runtime", "repro.workloads",
+    "repro.bgq", "repro.rapl", "repro.nvml", "repro.xeonphi", "repro.core",
+    "repro.core.moneq", "repro.baselines", "repro.analysis",
+    "repro.experiments", "repro.scheduling", "repro.devices",
+]
+
+
+def all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__,
+                                         prefix=package_name + "."):
+            if not info.ispkg:
+                names.append(info.name)
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("name", all_modules())
+def test_module_imports_and_is_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_dunder_all_resolves(package_name):
+    package = importlib.import_module(package_name)
+    for symbol in getattr(package, "__all__", []):
+        assert hasattr(package, symbol), f"{package_name}.__all__ lists {symbol}"
+
+
+def test_public_classes_documented():
+    undocumented = []
+    for name in all_modules():
+        module = importlib.import_module(name)
+        for attr_name, obj in vars(module).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isclass(obj) and obj.__module__ == name:
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"undocumented public classes: {undocumented}"
+
+
+def test_version_consistent():
+    from repro._version import __version__
+
+    assert repro.__version__ == __version__
+    parts = __version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

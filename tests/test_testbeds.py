@@ -1,0 +1,76 @@
+"""Unit tests for the ready-made testbeds."""
+
+import pytest
+
+from repro.testbeds import gpu_node, multi_device_node, phi_node, rapl_node, stampede_slice
+
+
+class TestRaplNode:
+    def test_msr_driver_deployed(self):
+        node, _ = rapl_node(seed=1)
+        assert node.kernel.is_loaded("msr")
+        assert node.vfs.exists("/dev/cpu/0/msr")
+        # Read-only access already granted (the paper's deployment).
+        assert node.vfs.stat_mode("/dev/cpu/0/msr") == 0o444
+
+    def test_workload_scheduled_not_started(self):
+        node, workload = rapl_node(seed=1, workload_start=5.0)
+        assert node.clock.now == 0.0
+        package = node.device("cpu")
+        assert package.board.busy_until() == pytest.approx(5.0 + workload.duration)
+
+    def test_seed_determinism(self):
+        a, _ = rapl_node(seed=9)
+        b, _ = rapl_node(seed=9)
+        pkg_a, pkg_b = a.device("cpu"), b.device("cpu")
+        from repro.rapl.domains import RaplDomain
+
+        assert pkg_a.energy_raw(RaplDomain.PKG, 3.0) == pkg_b.energy_raw(RaplDomain.PKG, 3.0)
+
+
+class TestGpuNode:
+    def test_nvml_ready(self):
+        node, gpu, nvml = gpu_node(seed=2)
+        handle = nvml.device_get_handle_by_index(0)
+        assert nvml.device_get_name(handle) == "Tesla K20"
+        assert gpu is node.device("gpu")
+
+
+class TestPhiNode:
+    def test_all_three_paths_live(self):
+        rig = phi_node(seed=3)
+        assert rig.sysmgmt.query_power_w() > 0
+        assert rig.micras.read_power_w() > 0
+        assert rig.bmc.read_power_w() > 0
+
+    def test_shared_clock(self):
+        rig = phi_node(seed=3)
+        assert rig.card.clock is rig.node.clock
+
+
+class TestMultiDeviceNode:
+    def test_all_kinds_attached(self):
+        node, rig = multi_device_node(seed=4)
+        assert node.device_kinds() == ["cpu", "gpu", "mic", "micras"]
+
+    def test_phi_rig_operational(self):
+        _, rig = multi_device_node(seed=4)
+        assert rig.micras.read_power_w() > 0
+
+
+class TestStampedeSlice:
+    def test_shape(self):
+        cluster = stampede_slice(cards=4, seed=5)
+        assert len(cluster) == 4
+        assert len(cluster.devices("mic")) == 4
+        assert len(cluster.devices("cpu")) == 8  # two sockets per node
+
+    def test_cards_share_cluster_clock(self):
+        cluster = stampede_slice(cards=2, seed=5)
+        cards = cluster.devices("mic")
+        assert cards[0].clock is cluster.clock is cards[1].clock
+
+    def test_per_node_rng_independent(self):
+        cluster = stampede_slice(cards=2, seed=5)
+        a, b = cluster.node(0), cluster.node(1)
+        assert a.rng.seed("x") != b.rng.seed("x")

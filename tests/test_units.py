@@ -1,0 +1,85 @@
+"""Unit tests for physical units and conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTime:
+    def test_ms_us(self):
+        assert units.ms(560.0) == pytest.approx(0.560)
+        assert units.us(30.0) == pytest.approx(30e-6)
+        assert units.to_ms(0.0011) == pytest.approx(1.1)
+
+    def test_constants(self):
+        assert units.MINUTE == 60.0
+        assert units.HOUR == 3600.0
+
+
+class TestPower:
+    def test_rapl_units(self):
+        assert units.RAPL_ENERGY_UNIT_J == 2.0 ** -16
+        assert units.RAPL_POWER_UNIT_W == 0.125
+        assert units.RAPL_TIME_UNIT_S == pytest.approx(976.5625e-6)
+
+    def test_milliwatts(self):
+        assert units.milliwatts_to_watts(55_000) == 55.0
+        assert units.watts_to_milliwatts(55.4321) == 55432
+
+    @given(st.floats(min_value=0.0, max_value=1e5))
+    def test_milliwatt_roundtrip_within_half_mw(self, watts):
+        back = units.milliwatts_to_watts(units.watts_to_milliwatts(watts))
+        assert back == pytest.approx(watts, abs=5e-4)
+
+    def test_energy(self):
+        assert units.joules(100.0, 10.0) == 1000.0
+        assert units.kwh(3.6e6) == 1.0
+
+
+class TestElectrical:
+    def test_power_from_vi(self):
+        assert units.power_from_vi(0.9, 100.0) == 90.0
+
+    def test_current_from_power(self):
+        assert units.current_from_power(90.0, 0.9) == pytest.approx(100.0)
+
+    def test_zero_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            units.current_from_power(1.0, 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=1e3),
+           st.floats(min_value=0.1, max_value=1e3))
+    def test_vi_roundtrip(self, volts, watts):
+        current = units.current_from_power(watts, volts)
+        assert units.power_from_vi(volts, current) == pytest.approx(watts)
+
+
+class TestTemperature:
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.k_to_c(units.c_to_k(36.6)) == pytest.approx(36.6)
+
+    def test_absolute_zero(self):
+        assert units.c_to_k(-273.15) == 0.0
+
+
+class TestFormatSi:
+    def test_milli(self):
+        assert units.format_si(0.0011, "s") == "1.1 ms"
+
+    def test_kilo_mega(self):
+        assert units.format_si(25_000.0, "W") == "25 kW"
+        assert units.format_si(2.5e6, "W") == "2.5 MW"
+
+    def test_unit_range(self):
+        assert units.format_si(42.0, "W") == "42 W"
+
+    def test_zero_and_nonfinite(self):
+        assert units.format_si(0.0, "J") == "0 J"
+        assert "inf" in units.format_si(math.inf, "J")
+
+    def test_tiny_values_use_smallest_prefix(self):
+        assert units.format_si(5e-10, "s").endswith("ns")

@@ -1,0 +1,137 @@
+"""Unit and property tests for workload base classes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim.signals import ConstantSignal, PeriodicPulseSignal
+from repro.workloads.base import Component, Phase, PhasedWorkload, Workload
+
+
+def simple_workload(duration=10.0, level=0.5):
+    return Workload("w", duration, {Component.CPU_CORES: ConstantSignal(level)})
+
+
+class TestWorkload:
+    def test_unknown_component_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload("w", 1.0, {"bogus.thing": ConstantSignal(0.5)})
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload("w", 0.0, {})
+
+    def test_utilization_inside_window(self):
+        w = simple_workload()
+        assert w.utilization(Component.CPU_CORES, 5.0) == 0.5
+
+    def test_utilization_zero_outside_window(self):
+        w = simple_workload(duration=10.0)
+        assert w.utilization(Component.CPU_CORES, -1.0) == 0.0
+        assert w.utilization(Component.CPU_CORES, 10.5) == 0.0
+
+    def test_unstressed_component_is_idle(self):
+        w = simple_workload()
+        assert w.utilization(Component.GPU_SM, 5.0) == 0.0
+
+    def test_utilization_clipped_to_unit_interval(self):
+        w = Workload("w", 10.0, {Component.CPU_CORES: ConstantSignal(1.7)})
+        assert w.utilization(Component.CPU_CORES, 5.0) == 1.0
+        w2 = Workload("w", 10.0, {Component.CPU_CORES: ConstantSignal(-0.5)})
+        assert w2.utilization(Component.CPU_CORES, 5.0) == 0.0
+
+    def test_vectorized_evaluation(self):
+        w = simple_workload(duration=10.0)
+        t = np.array([-1.0, 5.0, 11.0])
+        np.testing.assert_array_equal(
+            w.utilization(Component.CPU_CORES, t), [0.0, 0.5, 0.0]
+        )
+
+    @given(st.floats(min_value=-100, max_value=200))
+    def test_utilization_always_in_unit_interval(self, t):
+        w = PhasedWorkload("w", [Phase("p", 100.0, {Component.CPU_CORES: 0.9})],
+                           modulation={Component.CPU_CORES: PeriodicPulseSignal(5.0, 0.1, 0.5)})
+        u = w.utilization(Component.CPU_CORES, t)
+        assert 0.0 <= u <= 1.0
+
+
+class TestScheduledWorkload:
+    def test_shifts_timeline(self):
+        sched = simple_workload(duration=10.0).shifted(100.0)
+        assert sched.utilization(Component.CPU_CORES, 50.0) == 0.0
+        assert sched.utilization(Component.CPU_CORES, 105.0) == 0.5
+        assert sched.utilization(Component.CPU_CORES, 111.0) == 0.0
+        assert sched.t_end == 110.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(WorkloadError):
+            simple_workload().shifted(-1.0)
+
+
+class TestPhase:
+    def test_load_bounds_validated(self):
+        with pytest.raises(WorkloadError):
+            Phase("p", 1.0, {Component.CPU_CORES: 1.5})
+
+    def test_duration_validated(self):
+        with pytest.raises(WorkloadError):
+            Phase("p", 0.0)
+
+
+class TestPhasedWorkload:
+    def test_empty_phases_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload("w", [])
+
+    def test_duration_is_sum_of_phases(self):
+        w = PhasedWorkload("w", [
+            Phase("a", 2.0, {Component.CPU_CORES: 0.5}),
+            Phase("b", 3.0, {Component.CPU_CORES: 0.8}),
+        ])
+        assert w.duration == 5.0
+
+    def test_phase_levels_apply_in_order(self):
+        w = PhasedWorkload("w", [
+            Phase("a", 2.0, {Component.CPU_CORES: 0.5}),
+            Phase("b", 3.0, {Component.CPU_CORES: 0.8}),
+        ])
+        assert w.utilization(Component.CPU_CORES, 1.0) == 0.5
+        assert w.utilization(Component.CPU_CORES, 4.0) == 0.8
+
+    def test_component_absent_from_phase_is_idle(self):
+        w = PhasedWorkload("w", [
+            Phase("a", 2.0, {Component.CPU_CORES: 0.5}),
+            Phase("b", 3.0, {Component.GPU_SM: 0.8}),
+        ])
+        assert w.utilization(Component.GPU_SM, 1.0) == 0.0
+        assert w.utilization(Component.CPU_CORES, 4.0) == 0.0
+
+    def test_modulation_adds_to_phase_level(self):
+        w = PhasedWorkload(
+            "w", [Phase("a", 10.0, {Component.CPU_CORES: 0.5})],
+            modulation={Component.CPU_CORES: ConstantSignal(0.2)},
+        )
+        assert w.utilization(Component.CPU_CORES, 5.0) == pytest.approx(0.7)
+
+    def test_modulation_only_component(self):
+        w = PhasedWorkload(
+            "w", [Phase("a", 10.0, {Component.CPU_CORES: 0.5})],
+            modulation={Component.GPU_SM: ConstantSignal(0.3)},
+        )
+        assert w.utilization(Component.GPU_SM, 5.0) == pytest.approx(0.3)
+
+    def test_phase_boundaries(self):
+        w = PhasedWorkload("w", [
+            Phase("a", 2.0, {Component.CPU_CORES: 0.1}),
+            Phase("b", 3.0, {Component.CPU_CORES: 0.2}),
+        ])
+        assert w.phase_boundaries() == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+
+def test_component_all_lists_namespaced_names():
+    names = Component.all()
+    assert Component.CPU_CORES in names
+    assert Component.BGQ_SRAM in names
+    assert all("." in n or n == "net" for n in names)

@@ -1,0 +1,164 @@
+"""Unit tests for the concrete workload models used by the figures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Component
+from repro.workloads.gaussian import (
+    GaussianEliminationWorkload,
+    OffloadGaussianWorkload,
+    elimination_seconds,
+)
+from repro.workloads.mmps import MmpsWorkload, messaging_rate
+from repro.workloads.noop import GpuNoopWorkload, PhiNoopWorkload
+from repro.workloads.toy import TABLE3_RUNTIME_S, FixedRuntimeToyWorkload, IdleWorkload
+from repro.workloads.vectoradd import VectorAddWorkload
+
+
+class TestMmps:
+    def test_small_messages_hit_millions_per_second(self):
+        rate = messaging_rate(32)
+        assert 1e6 < rate < 5e6  # "million messages per second"
+
+    def test_large_messages_bandwidth_bound(self):
+        assert messaging_rate(1 << 20) < messaging_rate(32)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            messaging_rate(0)
+
+    def test_network_dominated_profile(self):
+        w = MmpsWorkload(duration=300.0)
+        mid = 150.0
+        assert w.utilization(Component.BGQ_HSS, mid) > 0.8
+        assert w.utilization(Component.BGQ_OPTICS, mid) > 0.8
+        assert w.utilization(Component.BGQ_DRAM, mid) < 0.5
+
+    def test_ramp_lower_than_sustain(self):
+        w = MmpsWorkload(duration=300.0)
+        assert (w.utilization(Component.BGQ_HSS, 5.0)
+                < w.utilization(Component.BGQ_HSS, 150.0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(WorkloadError):
+            MmpsWorkload(duration=10.0)
+
+    def test_intensity_validated(self):
+        with pytest.raises(WorkloadError):
+            MmpsWorkload(intensity=0.0)
+
+    def test_rate_exposed(self):
+        assert MmpsWorkload().rate == messaging_rate(32)
+
+
+class TestGaussian:
+    def test_elimination_time_scales_cubically(self):
+        assert elimination_seconds(2000, 10.0) == pytest.approx(
+            8.0 * elimination_seconds(1000, 10.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            elimination_seconds(0, 1.0)
+        with pytest.raises(WorkloadError):
+            elimination_seconds(100, 0.0)
+
+    def test_rhythmic_drop_present(self):
+        w = GaussianEliminationWorkload(n=8000, gflops=22.0, sync_period=5.0)
+        t = np.arange(0.0, min(w.duration, 30.0), 0.05)
+        u = w.utilization(Component.CPU_CORES, t)
+        # Clear bimodality: sustained level vs. sync-drop level (the
+        # -0.13 stall calibrated to the paper's ~5 W package drop).
+        assert u.max() - u.min() > 0.12
+        # Drops recur with the sync period: value at t and t+period match.
+        np.testing.assert_allclose(
+            w.utilization(Component.CPU_CORES, np.array([1.0, 2.0])),
+            w.utilization(Component.CPU_CORES, np.array([6.0, 7.0])),
+        )
+
+    def test_sync_period_validated(self):
+        with pytest.raises(WorkloadError):
+            GaussianEliminationWorkload(sync_period=0.1)
+
+
+class TestOffloadGaussian:
+    def test_cards_idle_during_datagen(self):
+        w = OffloadGaussianWorkload(datagen_seconds=100.0)
+        assert w.utilization(Component.PHI_CORES, 50.0) == 0.0
+        assert w.utilization(Component.CPU_CORES, 50.0) > 0.0
+
+    def test_cards_busy_during_compute(self):
+        w = OffloadGaussianWorkload(datagen_seconds=100.0)
+        t_compute = 100.0 + w.metadata["transfer_seconds"] + 5.0
+        assert w.utilization(Component.PHI_CORES, t_compute) > 0.5
+
+    def test_transfer_stresses_pcie(self):
+        w = OffloadGaussianWorkload(datagen_seconds=100.0)
+        t_transfer = 100.0 + w.metadata["transfer_seconds"] / 2.0
+        assert w.utilization(Component.PHI_PCIE, t_transfer) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            OffloadGaussianWorkload(datagen_seconds=0.0)
+
+
+class TestNoop:
+    def test_gpu_noop_gradual_ramp(self):
+        w = GpuNoopWorkload(duration=12.5, ramp_tau=1.5, level=0.22)
+        u1 = w.utilization(Component.GPU_SM, 0.5)
+        u5 = w.utilization(Component.GPU_SM, 5.0)
+        u10 = w.utilization(Component.GPU_SM, 10.0)
+        assert u1 < u5 <= u10
+        # Levels off: by ~5 s it is within 5% of asymptote.
+        assert u5 > 0.95 * 0.22
+
+    def test_gpu_noop_level_validated(self):
+        with pytest.raises(WorkloadError):
+            GpuNoopWorkload(level=0.0)
+
+    def test_phi_noop_is_whisper_quiet(self):
+        w = PhiNoopWorkload()
+        assert w.utilization(Component.PHI_CORES, 60.0) <= 0.05
+        assert w.utilization(Component.PHI_GDDR, 60.0) == 0.0
+
+
+class TestVectorAdd:
+    def test_three_phase_structure(self):
+        w = VectorAddWorkload(datagen_seconds=10.0, compute_seconds=85.0,
+                              transfer_seconds=3.0)
+        # During datagen: GPU nearly idle.
+        assert w.utilization(Component.GPU_SM, 5.0) < 0.15
+        # During compute: memory-bound high load.
+        assert w.utilization(Component.GPU_MEM, 50.0) == pytest.approx(0.9)
+        assert w.utilization(Component.GPU_SM, 50.0) > 0.7
+
+    def test_power_jump_after_datagen(self):
+        w = VectorAddWorkload()
+        before = w.utilization(Component.GPU_SM, 9.0)
+        after = w.utilization(Component.GPU_SM, 20.0)
+        assert after > before + 0.5  # "increases dramatically"
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            VectorAddWorkload(datagen_seconds=-1.0)
+
+
+class TestToy:
+    def test_exact_duration_matches_table3(self):
+        assert FixedRuntimeToyWorkload().duration == TABLE3_RUNTIME_S
+
+    def test_constant_load_throughout(self):
+        w = FixedRuntimeToyWorkload()
+        t = np.linspace(1.0, w.duration - 1.0, 7)
+        u = w.utilization(Component.BGQ_CHIP_CORE, t)
+        assert np.all(u == 0.6)
+
+    def test_idle_workload_is_everywhere_zero(self):
+        w = IdleWorkload(30.0)
+        for comp in [Component.CPU_CORES, Component.GPU_SM, Component.BGQ_DRAM]:
+            assert w.utilization(comp, 15.0) == 0.0
+
+    def test_idle_duration_validated(self):
+        with pytest.raises(WorkloadError):
+            IdleWorkload(0.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the STREAM workload models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rapl.domains import RaplDomain
+from repro.rapl.package import SANDY_BRIDGE, CpuPackage
+from repro.sim.rng import RngRegistry
+from repro.workloads.base import Component
+from repro.workloads.stream import (
+    BgqStreamWorkload,
+    StreamTriadWorkload,
+    triad_seconds,
+)
+
+
+class TestTriadModel:
+    def test_runtime_linear_in_iterations(self):
+        assert triad_seconds(1 << 30, 35e9, 200) == pytest.approx(
+            2.0 * triad_seconds(1 << 30, 35e9, 100)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            triad_seconds(0, 1.0, 1)
+        with pytest.raises(WorkloadError):
+            triad_seconds(1, 0.0, 1)
+
+
+class TestStreamTriad:
+    def test_dram_dominates_cores(self):
+        w = StreamTriadWorkload()
+        t = w.duration / 2.0
+        assert w.utilization(Component.CPU_DRAM, t) > 0.9
+        assert w.utilization(Component.CPU_CORES, t) < 0.6
+
+    def test_dram_plane_power_saturated_on_rapl(self):
+        pkg = CpuPackage(SANDY_BRIDGE, rng=RngRegistry(101))
+        w = StreamTriadWorkload()
+        pkg.board.schedule(w, t_start=0.0)
+        t = w.duration / 2.0
+        dram = float(pkg.true_power(RaplDomain.DRAM, t))
+        assert dram > SANDY_BRIDGE.dram_idle_w + 0.9 * SANDY_BRIDGE.dram_w
+
+    def test_inverse_of_gaussian_signature(self):
+        """GE is core-bound, STREAM memory-bound: the per-domain split
+        the paper's Table II mechanisms exist to expose."""
+        from repro.workloads.gaussian import GaussianEliminationWorkload
+
+        ge = GaussianEliminationWorkload()
+        stream = StreamTriadWorkload()
+        t_ge, t_stream = ge.duration / 2.0, stream.duration / 2.0
+        ge_ratio = (ge.utilization(Component.CPU_CORES, t_ge)
+                    / max(ge.utilization(Component.CPU_DRAM, t_ge), 1e-9))
+        stream_ratio = (stream.utilization(Component.CPU_CORES, t_stream)
+                        / stream.utilization(Component.CPU_DRAM, t_stream))
+        assert ge_ratio > 1.2
+        assert stream_ratio < 0.7
+
+
+class TestBgqStream:
+    def test_network_quiet_dram_loud(self):
+        w = BgqStreamWorkload(duration=100.0)
+        assert w.utilization(Component.BGQ_DRAM, 50.0) > 0.9
+        assert w.utilization(Component.BGQ_HSS, 50.0) == 0.0
+        assert w.utilization(Component.BGQ_OPTICS, 50.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BgqStreamWorkload(duration=1.0)
+
+    def test_contrast_with_mmps_on_node_board(self):
+        """Two jobs, opposite domain signatures, same machine."""
+        from repro.bgq.domains import BgqDomain
+        from repro.bgq.topology import NodeBoard
+        from repro.workloads.mmps import MmpsWorkload
+
+        stream_board = NodeBoard("R00-M0-N00", RngRegistry(1))
+        stream_board.board.schedule(BgqStreamWorkload(duration=100.0))
+        mmps_board = NodeBoard("R00-M0-N01", RngRegistry(2))
+        mmps_board.board.schedule(MmpsWorkload(duration=100.0))
+        t = 50.0
+        assert (stream_board.domain_power(BgqDomain.DRAM, t)
+                > mmps_board.domain_power(BgqDomain.DRAM, t))
+        assert (stream_board.domain_power(BgqDomain.HSS_NETWORK, t)
+                < mmps_board.domain_power(BgqDomain.HSS_NETWORK, t))

@@ -1,0 +1,109 @@
+"""Unit tests for the host-side MICRAS agent (config, RAS log, admin)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.testbeds import phi_node
+from repro.xeonphi.host_agent import SEVERITIES, HostMicrasAgent
+
+
+@pytest.fixture
+def agent():
+    rig = phi_node(seed=71)
+    return HostMicrasAgent(rig.scif, rig.card), rig
+
+
+class TestDeviceConfig:
+    def test_defaults(self, agent):
+        host, _ = agent
+        assert host.get_config("ecc") == "enabled"
+        assert host.get_config("governor") == "performance"
+
+    def test_set_roundtrip(self, agent):
+        host, _ = agent
+        host.set_config("turbo", "enabled")
+        assert host.get_config("turbo") == "enabled"
+
+    def test_set_costs_scif_time(self, agent):
+        host, rig = agent
+        t0 = rig.node.clock.now
+        host.set_config("governor", "powersave")
+        assert rig.node.clock.now > t0  # one SCIF message charged
+
+    def test_unknown_knob_rejected(self, agent):
+        host, _ = agent
+        with pytest.raises(ConfigError):
+            host.set_config("overclock", "yes")
+        with pytest.raises(ConfigError):
+            host.get_config("overclock")
+
+    def test_invalid_value_rejected_before_wire(self, agent):
+        host, rig = agent
+        t0 = rig.node.clock.now
+        with pytest.raises(ConfigError):
+            host.set_config("ecc", "sometimes")
+        assert rig.node.clock.now == t0  # validation precedes the send
+
+
+class TestRasLog:
+    def test_error_logged_with_timestamp(self, agent):
+        host, rig = agent
+        rig.node.clock.advance(3.0)
+        record = host.card_reports_error("corrected", "GDDR", "single-bit flip")
+        assert record.severity == "corrected"
+        assert record.timestamp >= 3.0
+        assert len(host.log()) == 1
+
+    def test_severity_filter(self, agent):
+        host, _ = agent
+        host.card_reports_error("info", "uOS", "boot complete")
+        host.card_reports_error("uncorrected", "L2", "parity")
+        host.card_reports_error("fatal", "VR", "overcurrent")
+        assert len(host.log("info")) == 3
+        assert len(host.log("uncorrected")) == 2
+        assert [r.severity for r in host.log("fatal")] == ["fatal"]
+
+    def test_bad_severity_rejected(self, agent):
+        host, _ = agent
+        with pytest.raises(ConfigError):
+            host.card_reports_error("catastrophic", "x", "y")
+        with pytest.raises(ConfigError):
+            host.log("catastrophic")
+
+    def test_ring_buffer_drops_oldest(self):
+        rig = phi_node(seed=72)
+        host = HostMicrasAgent(rig.scif, rig.card, max_log_records=3)
+        for i in range(5):
+            host.card_reports_error("info", "uOS", f"event {i}")
+        assert host.dropped_records == 2
+        assert [r.message for r in host.log()] == ["event 2", "event 3", "event 4"]
+
+    def test_severity_order_sane(self):
+        assert SEVERITIES.index("fatal") > SEVERITIES.index("corrected")
+
+
+class TestAdmin:
+    def test_status_blob(self, agent):
+        host, rig = agent
+        rig.node.clock.advance(10.0)
+        status = host.status()
+        assert status["card"] == "Xeon Phi SE10P"
+        assert status["uptime_s"] >= 10.0
+        assert 100.0 < status["power_w"] < 130.0
+        assert status["errors_logged"] == 0
+
+    def test_two_cards_use_distinct_ports(self):
+        from repro.sim.clock import VirtualClock
+        from repro.sim.rng import RngRegistry
+        from repro.xeonphi.card import PhiCard
+        from repro.xeonphi.scif import ScifNetwork
+
+        clock = VirtualClock()
+        network = ScifNetwork(clock, card_count=2)
+        cards = [PhiCard(rng=RngRegistry(i), mic_index=i, clock=clock)
+                 for i in range(2)]
+        agents = [HostMicrasAgent(network, card) for card in cards]
+        agents[0].card_reports_error("info", "uOS", "card0")
+        agents[1].card_reports_error("info", "uOS", "card1")
+        assert agents[0].log()[0].message == "card0"
+        assert agents[1].log()[0].message == "card1"

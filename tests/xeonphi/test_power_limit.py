@@ -1,0 +1,47 @@
+"""Unit tests for the Phi power-capping path (Table I: Get/Set Power
+Limit on the Xeon Phi)."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.testbeds import phi_node
+from repro.workloads.gaussian import OffloadGaussianWorkload
+
+
+class TestPhiPowerLimit:
+    def test_default_limit_is_tdp(self):
+        rig = phi_node(seed=61)
+        assert rig.card.power_limit_w == rig.card.model.tdp_w
+
+    def test_cap_clamps_card_power(self):
+        rig = phi_node(seed=62)
+        rig.card.board.schedule(OffloadGaussianWorkload(datagen_seconds=10.0),
+                                t_start=0.0)
+        t_busy = 60.0
+        uncapped = float(rig.card.true_power(t_busy))
+        rig.smc.set_power_limit(uncapped - 20.0, t=20.0)
+        assert float(rig.card.true_power(t_busy)) == pytest.approx(uncapped - 20.0)
+
+    def test_limit_readable_through_all_three_paths(self):
+        rig = phi_node(seed=63)
+        rig.smc.set_power_limit(250.0, t=0.0)
+        assert rig.smc.read_sensor("power_limit_w", 1.0) == 250.0
+        assert rig.micras.read_value("power_limit") == pytest.approx(250.0)
+        assert rig.bmc.read_sensor("power_limit_w") == pytest.approx(250.0)
+        assert rig.sysmgmt.query("power_limit_w") == 250.0
+
+    def test_out_of_range_rejected(self):
+        rig = phi_node(seed=64)
+        with pytest.raises(DeviceError):
+            rig.card.set_power_limit(10.0, t=0.0)
+        with pytest.raises(DeviceError):
+            rig.card.set_power_limit(1000.0, t=0.0)
+
+    def test_gauge_respects_cap(self):
+        rig = phi_node(seed=65)
+        rig.card.board.schedule(OffloadGaussianWorkload(datagen_seconds=5.0),
+                                t_start=0.0)
+        rig.smc.set_power_limit(150.0, t=0.0)
+        # Gauge noise is ~0.8 W around the capped truth.
+        reading = rig.smc.read_sensor("power_w", 60.0)
+        assert reading <= 150.0 + 4.0

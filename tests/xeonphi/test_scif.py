@@ -1,0 +1,117 @@
+"""Unit tests for the SCIF model."""
+
+import pytest
+
+from repro.errors import ScifDisconnectedError, ScifError
+from repro.sim.clock import VirtualClock
+from repro.xeonphi.scif import (
+    SCIF_SYSMGMT_PORT,
+    ScifNetwork,
+    message_latency,
+)
+
+
+@pytest.fixture
+def network():
+    return ScifNetwork(VirtualClock(), card_count=2)
+
+
+class TestTopology:
+    def test_host_is_node_zero(self, network):
+        assert network.valid_node(0)
+        assert network.valid_node(2)
+        assert not network.valid_node(3)
+
+    def test_needs_a_card(self):
+        with pytest.raises(ScifError):
+            ScifNetwork(VirtualClock(), card_count=0)
+
+
+class TestConnections:
+    def test_connect_to_listener(self, network):
+        network.listen(1, SCIF_SYSMGMT_PORT)
+        endpoint = network.connect(0, 1, SCIF_SYSMGMT_PORT)
+        assert endpoint.connected
+
+    def test_connect_without_listener_refused(self, network):
+        with pytest.raises(ScifError, match="refused"):
+            network.connect(0, 1, SCIF_SYSMGMT_PORT)
+
+    def test_double_bind_rejected(self, network):
+        network.listen(1, SCIF_SYSMGMT_PORT)
+        with pytest.raises(ScifError):
+            network.listen(1, SCIF_SYSMGMT_PORT)
+
+    def test_second_connect_rejected(self, network):
+        network.listen(1, SCIF_SYSMGMT_PORT)
+        network.connect(0, 1, SCIF_SYSMGMT_PORT)
+        with pytest.raises(ScifError):
+            network.connect(0, 1, SCIF_SYSMGMT_PORT)
+
+    def test_card_to_card_symmetric(self, network):
+        """Cards talk to each other with the same API as host-card."""
+        network.listen(2, 50)
+        endpoint = network.connect(1, 2, 50)
+        assert endpoint.connected
+
+    def test_unbind(self, network):
+        network.listen(1, 7)
+        network.unbind(1, 7)
+        with pytest.raises(ScifError):
+            network.unbind(1, 7)
+
+    def test_invalid_node_rejected(self, network):
+        with pytest.raises(ScifError):
+            network.listen(9, 7)
+
+
+class TestMessaging:
+    def test_send_recv_roundtrip(self, network):
+        listener = network.listen(1, 10)
+        client = network.connect(0, 1, 10)
+        client.send(b"ping")
+        assert listener.recv() == b"ping"
+        listener.send(b"pong")
+        assert client.recv() == b"pong"
+
+    def test_messages_fifo(self, network):
+        listener = network.listen(1, 10)
+        client = network.connect(0, 1, 10)
+        client.send(b"1")
+        client.send(b"2")
+        assert listener.recv() == b"1"
+        assert listener.recv() == b"2"
+
+    def test_send_charges_latency(self, network):
+        listener = network.listen(1, 10)
+        client = network.connect(0, 1, 10)
+        t0 = network.clock.now
+        client.send(b"x")
+        assert network.clock.now - t0 == pytest.approx(message_latency(1))
+
+    def test_send_on_unconnected_rejected(self, network):
+        listener = network.listen(1, 10)
+        with pytest.raises(ScifDisconnectedError):
+            listener.send(b"x")
+
+    def test_recv_empty_rejected(self, network):
+        listener = network.listen(1, 10)
+        network.connect(0, 1, 10)
+        with pytest.raises(ScifError):
+            listener.recv()
+
+    def test_close_disconnects_peer(self, network):
+        listener = network.listen(1, 10)
+        client = network.connect(0, 1, 10)
+        client.close()
+        with pytest.raises(ScifDisconnectedError):
+            listener.send(b"x")
+
+
+class TestLatencyModel:
+    def test_kernel_crossings_dominate_small_messages(self):
+        # 2 crossings at 0.9 ms + 0.55 ms bus ~ 2.35 ms.
+        assert message_latency(64) == pytest.approx(2.35e-3, rel=0.01)
+
+    def test_payload_adds_wire_time(self):
+        assert message_latency(10**9) > message_latency(64) + 0.1
