@@ -6,6 +6,7 @@
     python -m repro table3              # regenerate one table/figure
     python -m repro all                 # regenerate everything
     python -m repro report              # print EXPERIMENTS.md content
+    python -m repro obs dump [target..] # run exercises, dump metrics+spans
 """
 
 from __future__ import annotations
@@ -14,6 +15,37 @@ import sys
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments import report as report_module
+
+
+def _obs_command(args: list[str]) -> int:
+    """``repro obs dump [target ...]`` — run the named exercises (every
+    one of them by default) and print the Prometheus exposition plus the
+    finished spans."""
+    import repro.obs as obs
+    from repro.obs import demo
+
+    if not args or args[0] != "dump":
+        print("usage: python -m repro obs dump [target ...]\n"
+              f"targets: {' '.join(demo.EXERCISES)} (default: all)",
+              file=sys.stderr)
+        return 2
+    targets = args[1:] or list(demo.EXERCISES)
+    unknown = [t for t in targets if t not in demo.EXERCISES]
+    if unknown:
+        print(f"unknown obs target(s) {unknown}; "
+              f"have {sorted(demo.EXERCISES)}", file=sys.stderr)
+        return 2
+    for target in targets:
+        summary = demo.EXERCISES[target]()
+        detail = ", ".join(f"{k}={v:g}" for k, v in summary.items())
+        print(f"# exercised {target}: {detail}")
+    print()
+    print(obs.dump())
+    spans = obs.get_tracer().render()
+    if spans:
+        print("# spans")
+        print(spans)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,6 +58,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in ALL_EXPERIMENTS:
             print(name)
         return 0
+    if command == "obs":
+        return _obs_command(args[1:])
     if command == "report":
         report_module.main()
         return 0

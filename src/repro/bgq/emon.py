@@ -21,10 +21,13 @@ from repro.bgq.domains import BGQ_DOMAINS, BgqDomain
 from repro.bgq.topology import NodeBoard
 from repro.errors import SensorError
 from repro.host.process import Process
+from repro.obs.instruments import collector
 from repro.sim.clock import VirtualClock
 from repro.sim.noise import GaussianNoise
 from repro.sim.rng import RngRegistry
 from repro.sim.sensor import SampledSensor
+
+_OBS = collector("emon")
 
 #: Per-collection latency of an EMON query (paper: "about 1.10 ms").
 EMON_QUERY_LATENCY_S = 1.10e-3
@@ -83,6 +86,7 @@ class EmonInterface:
         self.clock.advance(EMON_QUERY_LATENCY_S)
         if process is not None and process.alive:
             process.charge(EMON_QUERY_LATENCY_S)
+        _OBS.record_query(EMON_QUERY_LATENCY_S)
         return self.collect_at(self.clock.now)
 
     def collect_at(self, t: float) -> list[EmonReading]:

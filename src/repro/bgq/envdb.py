@@ -22,8 +22,12 @@ from dataclasses import dataclass, field
 
 from repro.bgq.bpm import BulkPowerModule
 from repro.errors import ConfigError
+from repro.obs.instruments import ENVDB_POLLS, ENVDB_QUERY_ROWS, ENVDB_RECORDS, collector
 from repro.sim.events import EventQueue
 from repro.sim.hashrand import hash_normal
+
+_OBS = collector("envdb")
+_RECORD_COUNTERS = {}
 
 #: Allowed polling-interval range (s).
 MIN_POLL_INTERVAL_S = 60.0
@@ -131,6 +135,12 @@ class EnvironmentalDatabase:
 
     def _sweep(self, t: float) -> None:
         self._polls += 1
+        ENVDB_POLLS.inc()
+        for table in self.TABLES:
+            child = _RECORD_COUNTERS.get(table)
+            if child is None:
+                child = _RECORD_COUNTERS[table] = ENVDB_RECORDS.labels(table)
+            child.inc(len(self._bpms))
         for bpm in self._bpms:
             metered = bpm.metered(t)
             self._tables["bpm"].insert(EnvRecord(t, bpm.location, metered))
@@ -167,7 +177,10 @@ class EnvironmentalDatabase:
             raise ConfigError(f"no table {table!r}; have {list(self.TABLES)}")
         if t1 < t0:
             raise ConfigError(f"query window inverted: [{t0}, {t1}]")
-        return self._tables[table].query(t0, t1, location_prefix)
+        records = self._tables[table].query(t0, t1, location_prefix)
+        _OBS.count_query()
+        ENVDB_QUERY_ROWS.inc(len(records))
+        return records
 
     def bpm_input_power_series(self, location_prefix: str, t0: float,
                                t1: float) -> tuple[list[float], list[float]]:

@@ -22,6 +22,9 @@ class Backend(abc.ABC):
     platform: str
     #: Identifier used in output files (location or device name).
     label: str
+    #: ``mechanism`` label this backend's session reads are reported
+    #: under in the ``repro_collector_*`` metric families.
+    mechanism: str = "moneq"
 
     @property
     @abc.abstractmethod

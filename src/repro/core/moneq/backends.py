@@ -23,6 +23,7 @@ from repro.core.capability import (
 )
 from repro.core.moneq.backend import Backend
 from repro.errors import ConfigError
+from repro.obs.instruments import RAPL_WRAP_CORRECTIONS
 from repro.nvml.device import GpuDevice
 from repro.rapl.domains import RaplDomain
 from repro.rapl.package import CpuPackage
@@ -34,6 +35,7 @@ class BgqEmonBackend(Backend):
     """The 7-domain EMON view of one node card (32 nodes)."""
 
     platform = "Blue Gene/Q"
+    mechanism = "emon"
     MIN_INTERVAL_S = 0.560
 
     def __init__(self, emon: EmonInterface):
@@ -72,6 +74,7 @@ class RaplMsrBackend(Backend):
     """
 
     platform = "RAPL"
+    mechanism = "rapl_msr"
     MIN_INTERVAL_S = 0.060
 
     def __init__(self, package: CpuPackage, label: str = "socket0"):
@@ -102,6 +105,7 @@ class RaplMsrBackend(Backend):
                 delta = raw - prev[1]
                 if delta < 0:
                     delta += 1 << 32
+                    RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc()
                 joules = delta * self.package.units.energy_j
                 row[f"{domain.value}_w"] = joules / (t - prev[0])
             self._last[domain] = (t, raw)
@@ -121,6 +125,7 @@ class RaplPowercapBackend(Backend):
     """
 
     platform = "RAPL"
+    mechanism = "rapl_powercap"
     MIN_INTERVAL_S = 0.060
     #: Modeled sysfs open+read+parse cost per file.
     SYSFS_READ_LATENCY_S = 0.05e-3
@@ -175,6 +180,7 @@ class RaplPowercapBackend(Backend):
                 delta = micro_j - prev[1]
                 if delta < 0:  # counter wrap, single-wrap correction
                     delta += int((1 << 32) * 2.0 ** -16 * 1e6)
+                    RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc()
                 row[f"{domain.value}_w"] = delta / 1e6 / (t - prev[0])
             self._last[domain] = (t, micro_j)
         return row
@@ -187,6 +193,7 @@ class NvmlBackend(Backend):
     """Board power + temperature of one Kepler GPU."""
 
     platform = "NVML"
+    mechanism = "nvml"
     MIN_INTERVAL_S = 0.060
 
     def __init__(self, gpu: GpuDevice, query_latency_s: float = 1.3e-3):
@@ -224,6 +231,7 @@ class PhiSysMgmtBackend(Backend):
     power-perturbing, per the paper."""
 
     platform = "Xeon Phi"
+    mechanism = "sysmgmt"
     MIN_INTERVAL_S = 0.100
 
     def __init__(self, api: SysMgmtApi):
@@ -264,6 +272,7 @@ class PhiMicrasBackend(Backend):
     the read contends with the application on the card."""
 
     platform = "Xeon Phi"
+    mechanism = "micras"
     MIN_INTERVAL_S = 0.050
 
     def __init__(self, daemon: MicrasDaemon):

@@ -27,6 +27,17 @@ from repro.core.moneq.overhead import (
 from repro.core.moneq.tags import TagSet
 from repro.errors import ConfigError, MoneqBufferFullError, MoneqStateError
 from repro.host.process import Process
+from repro.obs.instruments import (
+    MONEQ_BUFFER_FILL,
+    MONEQ_BUFFER_FULL,
+    MONEQ_RECORDS,
+    MONEQ_SESSIONS_FINALIZED,
+    MONEQ_SESSIONS_STARTED,
+    MONEQ_TICKS,
+    CollectorInstrument,
+    collector,
+)
+from repro.obs.tracing import get_tracer
 from repro.host.vfs import VirtualFileSystem
 from repro.sim.events import EventQueue
 from repro.sim.timers import PeriodicTimer
@@ -41,9 +52,13 @@ class _Agent:
     process: Process | None
     records: np.ndarray
     count: int = 0
+    instrument: CollectorInstrument | None = None
 
     def append(self, t: float, row: dict[str, float]) -> None:
         if self.count >= len(self.records):
+            MONEQ_BUFFER_FULL.inc()
+            if self.instrument is not None:
+                self.instrument.record_error("buffer_full")
             raise MoneqBufferFullError(
                 f"agent {self.backend.label}: buffer of {len(self.records)} "
                 "records exhausted; raise MoneqConfig.buffer_slots"
@@ -132,13 +147,18 @@ class MoneqSession:
                 backend=backend,
                 process=processes[i] if processes is not None else None,
                 records=np.zeros(self.config.buffer_slots, dtype=dtype),
+                instrument=collector(backend.mechanism),
             ))
 
         self.tags = TagSet()
         self._finalized = False
+        MONEQ_SESSIONS_STARTED.inc()
         # Initialize cost: charged to the clock now, before the timer arms.
         self._init_cost = initialize_time_s(self.node_count)
-        queue.clock.advance(self._init_cost)
+        with get_tracer().span("moneq.initialize", clock=queue.clock,
+                               agents=len(self.agents),
+                               nodes=self.node_count):
+            queue.clock.advance(self._init_cost)
         self.t_start = queue.clock.now
         for agent in self.agents:
             agent.backend.on_session_start(self.t_start, self.interval_s)
@@ -148,13 +168,21 @@ class MoneqSession:
 
     def _on_tick(self, t: float, index: int) -> None:
         tick_cost = 0.0
+        max_fill = 0.0
         for agent in self.agents:
             row = agent.backend.read_at(t)
             agent.append(t, row)
             cost = agent.backend.query_latency_s
             if agent.process is not None and agent.process.alive:
                 agent.process.charge(cost)
+            agent.instrument.record_query(cost)
+            fill = agent.count / len(agent.records)
+            if fill > max_fill:
+                max_fill = fill
             tick_cost = max(tick_cost, cost)
+        MONEQ_TICKS.inc()
+        MONEQ_RECORDS.inc(len(self.agents))
+        MONEQ_BUFFER_FILL.set(max_fill)
         # Agents overlap across nodes; the slowest gates the tick.
         self.queue.clock.advance(tick_cost)
 
@@ -192,7 +220,10 @@ class MoneqSession:
             agent.backend.on_session_stop(t_end)
 
         finalize_cost = finalize_time_s(len(self.agents))
-        self.queue.clock.advance(finalize_cost)
+        with get_tracer().span("moneq.finalize", clock=self.queue.clock,
+                               agents=len(self.agents), ticks=self.ticks):
+            self.queue.clock.advance(finalize_cost)
+        MONEQ_SESSIONS_FINALIZED.inc()
 
         markers = self.tags.markers()
         agent_files: dict[str, str] = {}

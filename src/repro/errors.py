@@ -140,6 +140,12 @@ class ConfigError(ReproError):
     valid range, negative buffer size, ...)."""
 
 
+class ObservabilityError(ReproError):
+    """Misuse of the ``repro.obs`` subsystem (bad metric/label names,
+    label-cardinality blowups, counters decremented, spans closed out of
+    order, ...)."""
+
+
 class WorkloadError(ReproError):
     """Workload model misconfiguration (negative duration, unknown
     component, overlapping phases)."""

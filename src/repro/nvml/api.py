@@ -16,7 +16,10 @@ from repro.host.node import Node
 from repro.host.process import Process
 from repro.nvml.device import GpuDevice
 from repro.nvml.pcie import PcieBus
+from repro.obs.instruments import collector
 from repro.units import watts_to_milliwatts
+
+_OBS = collector("nvml")
 
 # -- status codes (the subset the simulator can produce) --------------------
 
@@ -126,6 +129,7 @@ class NvmlLibrary:
         """
         device = self._device(handle)
         if not device.model.supports_power_readings:
+            _OBS.record_error("not_supported")
             raise NvmlError(
                 NVML_ERROR_NOT_SUPPORTED,
                 f"{device.model.name} ({device.model.architecture}) has no power sensor",
@@ -197,6 +201,7 @@ class NvmlLibrary:
 
     def _require_init(self) -> None:
         if not self._initialized:
+            _OBS.record_error("uninitialized")
             raise NvmlError(NVML_ERROR_UNINITIALIZED, "call nvmlInit first")
 
     def _device(self, handle: _DeviceHandle) -> GpuDevice:
@@ -212,4 +217,5 @@ class NvmlLibrary:
         self.node.clock.advance(cost)
         if self.process is not None and self.process.alive:
             self.process.charge(cost)
+        _OBS.record_query(cost)
         return self.node.clock.now

@@ -1,0 +1,198 @@
+"""The shared instrument set for the simulated collectors.
+
+Every vendor mechanism reports through the same four families, labeled
+by ``mechanism``, so dashboards and the self-profiler can compare EMON
+against RAPL against NVML against the Phi paths without knowing any
+module internals:
+
+* ``repro_collector_queries_total{mechanism}`` — one per query issued;
+* ``repro_collector_query_seconds_total{mechanism}`` — charged latency;
+* ``repro_collector_query_latency_seconds{mechanism}`` — its histogram;
+* ``repro_collector_errors_total{mechanism,kind}`` — observed failures.
+
+Mechanism-specific families (RAPL wraparounds, env-DB ingest, SCIF
+traffic, MonEQ lifecycle, launcher scheduling) live here too so the full
+metric namespace is declared in one place — ``docs/observability.md``
+documents it name by name.
+
+Modules grab their handle once at import time via :func:`collector`;
+the handle stays valid across :func:`repro.obs.registry.MetricsRegistry.
+reset` calls because resets zero samples without discarding children.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import LATENCY_BUCKETS_S
+from repro.obs.registry import get_registry
+
+_REGISTRY = get_registry()
+
+#: Mechanism label values in use, grouped by the paper's four vendors.
+VENDOR_MECHANISMS: dict[str, tuple[str, ...]] = {
+    "bgq": ("emon", "envdb"),
+    "rapl": ("rapl_msr", "rapl_perf", "rapl_powercap"),
+    "nvml": ("nvml",),
+    "xeonphi": ("sysmgmt", "micras", "ipmb", "scif"),
+}
+
+COLLECTOR_QUERIES = _REGISTRY.counter(
+    "repro_collector_queries_total",
+    "Queries issued against a collection mechanism",
+    labels=("mechanism",),
+)
+COLLECTOR_QUERY_SECONDS = _REGISTRY.counter(
+    "repro_collector_query_seconds_total",
+    "Virtual seconds charged to collection queries",
+    labels=("mechanism",),
+)
+COLLECTOR_LATENCY = _REGISTRY.histogram(
+    "repro_collector_query_latency_seconds",
+    "Per-query latency distribution",
+    buckets=LATENCY_BUCKETS_S,
+    labels=("mechanism",),
+)
+COLLECTOR_ERRORS = _REGISTRY.counter(
+    "repro_collector_errors_total",
+    "Collection failures, by mechanism and kind",
+    labels=("mechanism", "kind"),
+)
+
+# -- RAPL ------------------------------------------------------------------
+
+RAPL_WRAPAROUNDS = _REGISTRY.counter(
+    "repro_rapl_wraparounds_total",
+    "True 32-bit energy-counter wraps elapsed between decoded reads "
+    "(exactly one increment per wrap, even when a single delta spans "
+    "several wraps)",
+    labels=("domain",),
+)
+RAPL_WRAP_CORRECTIONS = _REGISTRY.counter(
+    "repro_rapl_wrap_corrections_total",
+    "Single-wrap corrections applied by RAPL consumers (what software "
+    "can observe; undercounts when sampling slower than the wrap period)",
+    labels=("mechanism",),
+)
+
+# -- BG/Q environmental database -------------------------------------------
+
+ENVDB_POLLS = _REGISTRY.counter(
+    "repro_envdb_polls_total",
+    "Environmental-database polling sweeps completed",
+)
+ENVDB_RECORDS = _REGISTRY.counter(
+    "repro_envdb_records_total",
+    "Rows ingested into the environmental database",
+    labels=("table",),
+)
+ENVDB_QUERY_ROWS = _REGISTRY.counter(
+    "repro_envdb_query_rows_total",
+    "Rows returned by environmental-database range queries",
+)
+
+# -- SCIF ------------------------------------------------------------------
+
+SCIF_MESSAGES = _REGISTRY.counter(
+    "repro_scif_messages_total",
+    "SCIF messages delivered between host and card endpoints",
+)
+SCIF_BYTES = _REGISTRY.counter(
+    "repro_scif_bytes_total",
+    "SCIF payload bytes delivered",
+)
+
+# -- MonEQ session lifecycle ------------------------------------------------
+
+MONEQ_SESSIONS_STARTED = _REGISTRY.counter(
+    "repro_moneq_sessions_started_total",
+    "MonEQ profiling sessions initialized",
+)
+MONEQ_SESSIONS_FINALIZED = _REGISTRY.counter(
+    "repro_moneq_sessions_finalized_total",
+    "MonEQ profiling sessions finalized",
+)
+MONEQ_TICKS = _REGISTRY.counter(
+    "repro_moneq_ticks_total",
+    "Collection timer ticks fired across all sessions",
+)
+MONEQ_RECORDS = _REGISTRY.counter(
+    "repro_moneq_records_total",
+    "Records appended to MonEQ agent buffers",
+)
+MONEQ_BUFFER_FILL = _REGISTRY.gauge(
+    "repro_moneq_buffer_fill_ratio",
+    "Fill ratio of the fullest agent buffer in the most recent tick",
+)
+MONEQ_BUFFER_FULL = _REGISTRY.counter(
+    "repro_moneq_buffer_full_total",
+    "Appends refused because an agent's preallocated buffer was full",
+)
+
+# -- SPMD launcher ----------------------------------------------------------
+
+LAUNCHER_RUNS = _REGISTRY.counter(
+    "repro_launcher_runs_total",
+    "SPMD programs run to completion",
+)
+LAUNCHER_RANKS = _REGISTRY.counter(
+    "repro_launcher_ranks_total",
+    "Ranks scheduled across completed runs",
+)
+LAUNCHER_MESSAGES = _REGISTRY.counter(
+    "repro_launcher_messages_total",
+    "Point-to-point messages across completed runs, by direction",
+    labels=("direction",),
+)
+LAUNCHER_ERRORS = _REGISTRY.counter(
+    "repro_launcher_errors_total",
+    "SPMD runs ended by a failure, by kind",
+    labels=("kind",),
+)
+
+
+class CollectorInstrument:
+    """Pre-bound handles for one mechanism's hot path.
+
+    ``record_query`` is the common case — one query, known charged
+    latency — and costs two counter adds plus one histogram observe.
+    ``count_query`` is for mechanisms with no latency model (the env-DB
+    range query) where a zero-second observation would only distort the
+    latency histogram.
+    """
+
+    __slots__ = ("mechanism", "_queries", "_seconds", "_latency")
+
+    def __init__(self, mechanism: str):
+        self.mechanism = mechanism
+        self._queries = COLLECTOR_QUERIES.labels(mechanism)
+        self._seconds = COLLECTOR_QUERY_SECONDS.labels(mechanism)
+        self._latency = COLLECTOR_LATENCY.labels(mechanism)
+
+    def record_query(self, seconds: float, count: int = 1) -> None:
+        self._queries.inc(count)
+        self._seconds.inc(seconds)
+        self._latency.observe(seconds)
+
+    def count_query(self, count: int = 1) -> None:
+        self._queries.inc(count)
+
+    def record_error(self, kind: str) -> None:
+        COLLECTOR_ERRORS.labels(self.mechanism, kind).inc()
+
+    @property
+    def queries(self) -> float:
+        return self._queries.value
+
+    def errors(self, kind: str) -> float:
+        return COLLECTOR_ERRORS.value(self.mechanism, kind)
+
+
+_INSTRUMENTS: dict[str, CollectorInstrument] = {}
+
+
+def collector(mechanism: str) -> CollectorInstrument:
+    """The (cached) instrument handle for one mechanism label."""
+    instrument = _INSTRUMENTS.get(mechanism)
+    if instrument is None:
+        instrument = CollectorInstrument(mechanism)
+        _INSTRUMENTS[mechanism] = instrument
+    return instrument

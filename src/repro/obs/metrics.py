@@ -1,0 +1,362 @@
+"""Metric primitives: counters, gauges and fixed-bucket histograms.
+
+The paper measures the measurers — EMON, RAPL, NVML and the Xeon Phi
+paths — so the reproduction needs the same treatment applied to itself.
+These primitives are deliberately tiny and dependency-free: a metric is
+a named family with a fixed label schema, each distinct label-value
+tuple owns one sample, and :func:`render_prometheus` emits the standard
+text exposition format so dumps diff cleanly across runs.
+
+Semantics follow the Prometheus data model:
+
+* counters only ever increase (a negative increment raises);
+* gauges move freely;
+* histograms have fixed upper bounds chosen at declaration time and
+  export *cumulative* bucket counts plus ``_sum`` and ``_count``.
+
+Families may be disabled wholesale through their owning registry, which
+reduces every hot-path update to a single flag check — the property the
+``bench_obs_overhead`` benchmark pins below 5 %.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+
+from repro.errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Ceiling on distinct label-value tuples per family.  Unbounded label
+#: cardinality is the classic way an instrumented system observes itself
+#: to death; hitting the ceiling is a programming error, not load.
+DEFAULT_MAX_LABEL_SETS = 1024
+
+#: Default latency buckets (seconds), spanning the paper's per-query
+#: costs: 0.03 ms MSR reads up to the 22 ms IPMB exchange and beyond.
+LATENCY_BUCKETS_S = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(label_names: tuple[str, ...]) -> tuple[str, ...]:
+    for label in label_names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ObservabilityError(f"invalid label name {label!r}")
+    if len(set(label_names)) != len(label_names):
+        raise ObservabilityError(f"duplicate label names in {label_names}")
+    return tuple(label_names)
+
+
+def format_value(value: float) -> str:
+    """Render a sample value the way the Prometheus text format does."""
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+class MetricFamily:
+    """Common machinery: label schema, child cache, enable gating."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...] = (),
+                 registry=None, max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        self.name = _check_name(name)
+        self.help = str(help)
+        self.label_names = _check_labels(tuple(label_names))
+        self.max_label_sets = int(max_label_sets)
+        self._registry = registry
+        self._children: dict[tuple[str, ...], object] = {}
+        self._default = None
+        if not self.label_names:
+            self._default = self._new_child()
+            self._children[()] = self._default
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry is None or self._registry.enabled
+
+    # -- children ----------------------------------------------------------
+
+    def labels(self, *values, **by_name):
+        """The sample for one label-value tuple (created on first use)."""
+        key = self._label_key(values, by_name)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_label_sets:
+                raise ObservabilityError(
+                    f"{self.name}: label cardinality exceeds "
+                    f"{self.max_label_sets} distinct label sets"
+                )
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _label_key(self, values: tuple, by_name: dict) -> tuple[str, ...]:
+        if values and by_name:
+            raise ObservabilityError(
+                f"{self.name}: pass labels positionally or by name, not both"
+            )
+        if by_name:
+            if set(by_name) != set(self.label_names):
+                raise ObservabilityError(
+                    f"{self.name}: expected labels {self.label_names}, "
+                    f"got {tuple(sorted(by_name))}"
+                )
+            values = tuple(by_name[name] for name in self.label_names)
+        if len(values) != len(self.label_names):
+            raise ObservabilityError(
+                f"{self.name}: expected {len(self.label_names)} label "
+                f"values {self.label_names}, got {len(values)}"
+            )
+        return tuple(str(v) for v in values)
+
+    def _require_unlabeled(self):
+        if self._default is None:
+            raise ObservabilityError(
+                f"{self.name} is labeled by {self.label_names}; "
+                "call .labels(...) first"
+            )
+        return self._default
+
+    def _new_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- collection --------------------------------------------------------
+
+    def samples(self) -> dict[tuple[str, ...], object]:
+        """Snapshot of label tuple -> plain-value sample state."""
+        return {key: child.snapshot() for key, child in self._children.items()}
+
+    def reset(self) -> None:
+        """Zero every sample, keeping children (cached handles stay valid)."""
+        for child in self._children.values():
+            child.clear()
+
+    def _render_labels(self, key: tuple[str, ...],
+                       extra: tuple[tuple[str, str], ...] = ()) -> str:
+        pairs = list(zip(self.label_names, key)) + list(extra)
+        if not pairs:
+            return ""
+        inner = ",".join(
+            f'{name}="{escape_label_value(value)}"' for name, value in pairs
+        )
+        return "{" + inner + "}"
+
+
+class _CounterChild:
+    __slots__ = ("_family", "value")
+
+    def __init__(self, family: "Counter"):
+        self._family = family
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ObservabilityError(
+                f"{self._family.name}: counters can only increase "
+                f"(inc by {amount})"
+            )
+        if self._family.enabled:
+            self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def clear(self) -> None:
+        self.value = 0.0
+
+
+class Counter(MetricFamily):
+    """Monotonically non-decreasing count (events, queries, errors)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild(self)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_unlabeled().inc(amount)
+
+    def value(self, *label_values) -> float:
+        """Current count for one label tuple (0 if never incremented)."""
+        if not label_values and self._default is not None:
+            return self._default.value
+        child = self._children.get(self._label_key(label_values, {}))
+        return 0.0 if child is None else child.value
+
+
+class _GaugeChild:
+    __slots__ = ("_family", "value")
+
+    def __init__(self, family: "Gauge"):
+        self._family = family
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._family.enabled:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._family.enabled:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if self._family.enabled:
+            self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def clear(self) -> None:
+        self.value = 0.0
+
+
+class Gauge(MetricFamily):
+    """A value that can move both ways (buffer fill, active sessions)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild(self)
+
+    def set(self, value: float) -> None:
+        self._require_unlabeled().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_unlabeled().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._require_unlabeled().dec(amount)
+
+    def value(self, *label_values) -> float:
+        if not label_values and self._default is not None:
+            return self._default.value
+        child = self._children.get(self._label_key(label_values, {}))
+        return 0.0 if child is None else child.value
+
+
+class _HistogramChild:
+    __slots__ = ("_family", "counts", "sum", "count")
+
+    def __init__(self, family: "Histogram"):
+        self._family = family
+        self.counts = [0] * len(family.uppers)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._family.enabled:
+            return
+        self.counts[bisect_left(self._family.uppers, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Per-bucket cumulative counts, ending in the total count."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "counts": self.cumulative_counts(),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def clear(self) -> None:
+        self.counts = [0] * len(self.counts)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(MetricFamily):
+    """Fixed-bucket distribution (per-query latency, span durations)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+                 label_names: tuple[str, ...] = (), registry=None,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        uppers = tuple(float(b) for b in buckets)
+        if not uppers:
+            raise ObservabilityError(f"{name}: histogram needs >= 1 bucket")
+        if any(b1 >= b2 for b1, b2 in zip(uppers, uppers[1:])):
+            raise ObservabilityError(
+                f"{name}: bucket bounds must strictly increase, got {uppers}"
+            )
+        if "le" in label_names:
+            raise ObservabilityError(f"{name}: 'le' is reserved for buckets")
+        if uppers[-1] != math.inf:
+            uppers = uppers + (math.inf,)
+        self.uppers = uppers
+        super().__init__(name, help, label_names, registry, max_label_sets)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self)
+
+    def observe(self, value: float) -> None:
+        self._require_unlabeled().observe(value)
+
+    def child(self, *label_values) -> _HistogramChild | None:
+        if not label_values and self._default is not None:
+            return self._default
+        return self._children.get(self._label_key(label_values, {}))
+
+
+def render_family(family: MetricFamily) -> list[str]:
+    """Text-exposition lines for one family (HELP, TYPE, samples)."""
+    lines = [
+        f"# HELP {family.name} {_escape_help(family.help)}",
+        f"# TYPE {family.name} {family.kind}",
+    ]
+    for key in sorted(family._children):
+        child = family._children[key]
+        if isinstance(family, Histogram):
+            for upper, cum in zip(family.uppers, child.cumulative_counts()):
+                labels = family._render_labels(key, (("le", format_value(upper)),))
+                lines.append(f"{family.name}_bucket{labels} {cum}")
+            base = family._render_labels(key)
+            lines.append(f"{family.name}_sum{base} {format_value(child.sum)}")
+            lines.append(f"{family.name}_count{base} {child.count}")
+        else:
+            labels = family._render_labels(key)
+            lines.append(f"{family.name}{labels} {format_value(child.value)}")
+    return lines
+
+
+def render_prometheus(families) -> str:
+    """Prometheus text exposition (format 0.0.4) for an iterable of
+    families, in declaration order."""
+    lines: list[str] = []
+    for family in families:
+        lines.extend(render_family(family))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,186 @@
+"""Metric registry: declaration, collection, reset and merge.
+
+A :class:`MetricsRegistry` owns a set of metric families.  Declaration
+is get-or-create — instrumented modules can all say
+``registry.counter("repro_collector_queries_total", ...)`` and share one
+family — but redeclaring a name with a different kind, label schema or
+bucket layout is a programming error and raises.
+
+One process-global registry backs the instrumented collectors; tests
+that need isolation either build private registries or call
+:func:`reset` (which zeroes samples while keeping every cached metric
+handle valid — module-level instruments survive resets).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    render_prometheus,
+)
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    Parameters
+    ----------
+    enabled:
+        When False every sample update becomes a no-op after one flag
+        check; declarations and reads still work.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- declaration -------------------------------------------------------
+
+    def counter(self, name: str, help: str,
+                labels: tuple[str, ...] = ()) -> Counter:
+        return self._declare(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str,
+              labels: tuple[str, ...] = ()) -> Gauge:
+        return self._declare(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str,
+                  buckets: tuple[float, ...] | None = None,
+                  labels: tuple[str, ...] = ()) -> Histogram:
+        existing = self._families.get(name)
+        if existing is not None:
+            self._check_compatible(existing, Histogram, labels)
+            if buckets is not None:
+                wanted = tuple(float(b) for b in buckets)
+                if wanted[-1] != math.inf:
+                    wanted = wanted + (math.inf,)
+                if wanted != existing.uppers:
+                    raise ObservabilityError(
+                        f"{name}: redeclared with different buckets"
+                    )
+            return existing
+        if buckets is None:
+            family = Histogram(name, help, label_names=tuple(labels),
+                               registry=self)
+        else:
+            family = Histogram(name, help, buckets=tuple(buckets),
+                               label_names=tuple(labels), registry=self)
+        self._families[name] = family
+        return family
+
+    def _declare(self, cls, name: str, help: str, labels) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            self._check_compatible(existing, cls, labels)
+            return existing
+        family = cls(name, help, label_names=tuple(labels), registry=self)
+        self._families[name] = family
+        return family
+
+    @staticmethod
+    def _check_compatible(existing: MetricFamily, cls, labels) -> None:
+        if type(existing) is not cls:
+            raise ObservabilityError(
+                f"{existing.name}: redeclared as {cls.kind}, "
+                f"was {existing.kind}"
+            )
+        if existing.label_names != tuple(labels):
+            raise ObservabilityError(
+                f"{existing.name}: redeclared with labels {tuple(labels)}, "
+                f"was {existing.label_names}"
+            )
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, name: str) -> MetricFamily:
+        try:
+            return self._families[name]
+        except KeyError:
+            raise ObservabilityError(f"no metric family {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def families(self) -> list[MetricFamily]:
+        return list(self._families.values())
+
+    def names(self) -> list[str]:
+        return list(self._families)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every sample in place.  Cached family/child handles held
+        by instrumented modules remain live and start from zero."""
+        for family in self._families.values():
+            family.reset()
+
+    # -- collection --------------------------------------------------------
+
+    def collect(self) -> dict[str, dict[tuple[str, ...], object]]:
+        """Plain-data snapshot: family name -> label tuple -> value
+        (floats for counters/gauges, dicts for histograms)."""
+        return {name: family.samples()
+                for name, family in self._families.items()}
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every family."""
+        return render_prometheus(self._families.values())
+
+    # -- merge -------------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's samples into this one.
+
+        Families are matched by name (created here when missing) and
+        must agree on kind, labels and buckets.  Counter and histogram
+        samples add; gauges take the other registry's value (last write
+        wins, matching what a scrape of the merged process would see).
+        """
+        for name, family in other._families.items():
+            if isinstance(family, Histogram):
+                mine = self.histogram(name, family.help,
+                                      buckets=family.uppers,
+                                      labels=family.label_names)
+            elif isinstance(family, Counter):
+                mine = self.counter(name, family.help, family.label_names)
+            elif isinstance(family, Gauge):
+                mine = self.gauge(name, family.help, family.label_names)
+            else:  # pragma: no cover - no other kinds exist
+                raise ObservabilityError(f"unknown family kind {family.kind}")
+            for key, child in family._children.items():
+                target = mine.labels(*key)
+                if isinstance(family, Histogram):
+                    for i, c in enumerate(child.counts):
+                        target.counts[i] += c
+                    target.sum += child.sum
+                    target.count += child.count
+                elif isinstance(family, Counter):
+                    target.value += child.value
+                else:
+                    target.value = child.value
+
+    @classmethod
+    def merged(cls, *registries: "MetricsRegistry") -> "MetricsRegistry":
+        """A fresh registry holding the sum of the given registries."""
+        out = cls()
+        for registry in registries:
+            out.merge_from(registry)
+        return out
+
+
+#: The process-global registry every instrumented collector reports to.
+#: Never replaced — only reset — so module-level instrument handles stay
+#: valid for the life of the process.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry."""
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,153 @@
+"""Per-collector overhead accounting for our own instrumented code.
+
+Table III of the paper decomposes MonEQ's cost into initialize /
+collection / finalize and expresses the total as a percentage of
+application runtime.  :class:`SelfProfiler` applies the same methodology
+to this reproduction's collectors: wrap any window of simulated work in
+the context manager and it reports, per mechanism, how many queries ran,
+how much virtual time they consumed, and what fraction of the window
+that represents — the before/after evidence future performance PRs cite.
+
+The numbers come straight from the shared instrument families
+(``repro_collector_queries_total`` / ``..._query_seconds_total``), so
+anything instrumented through :mod:`repro.obs.instruments` is covered
+with no extra plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import MetricsRegistry, get_registry
+
+_QUERIES = "repro_collector_queries_total"
+_SECONDS = "repro_collector_query_seconds_total"
+
+
+@dataclass(frozen=True)
+class CollectorOverhead:
+    """One mechanism's share of a profiled window."""
+
+    mechanism: str
+    queries: int
+    collection_s: float
+
+    @property
+    def mean_query_s(self) -> float:
+        return self.collection_s / self.queries if self.queries else 0.0
+
+    def percent_of(self, window_s: float) -> float:
+        if window_s <= 0.0:
+            return 0.0
+        return 100.0 * self.collection_s / window_s
+
+
+@dataclass(frozen=True)
+class SelfProfileReport:
+    """Table III, applied to our own collectors, for one window."""
+
+    window_s: float
+    collectors: tuple[CollectorOverhead, ...]
+
+    @property
+    def total_collection_s(self) -> float:
+        return sum(c.collection_s for c in self.collectors)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(c.queries for c in self.collectors)
+
+    @property
+    def percent_of_window(self) -> float:
+        if self.window_s <= 0.0:
+            return 0.0
+        return 100.0 * self.total_collection_s / self.window_s
+
+    def mechanism(self, name: str) -> CollectorOverhead:
+        for overhead in self.collectors:
+            if overhead.mechanism == name:
+                return overhead
+        raise ObservabilityError(
+            f"no mechanism {name!r} in this window; have "
+            f"{[c.mechanism for c in self.collectors]}"
+        )
+
+    def as_table_rows(self) -> list[dict[str, object]]:
+        """Rows shaped like Table III, one per mechanism plus a total."""
+        rows: list[dict[str, object]] = [
+            {
+                "Mechanism": c.mechanism,
+                "Queries": c.queries,
+                "Time for Collection": c.collection_s,
+                "Percent of Window": c.percent_of(self.window_s),
+            }
+            for c in self.collectors
+        ]
+        rows.append({
+            "Mechanism": "total",
+            "Queries": self.total_queries,
+            "Time for Collection": self.total_collection_s,
+            "Percent of Window": self.percent_of_window,
+        })
+        return rows
+
+    def render(self) -> str:
+        lines = [f"self-profile over {self.window_s:.3f} s of virtual time"]
+        for row in self.as_table_rows():
+            lines.append(
+                f"  {row['Mechanism']:<14} {row['Queries']:>8} queries  "
+                f"{row['Time for Collection']:>10.6f} s  "
+                f"{row['Percent of Window']:>6.2f} %"
+            )
+        return "\n".join(lines)
+
+
+class SelfProfiler:
+    """Context manager measuring collector overhead over a clock window.
+
+    Parameters
+    ----------
+    clock:
+        Anything with a ``now`` attribute; the window is
+        ``clock.now`` at exit minus at entry, in virtual seconds.
+    registry:
+        Where the collector counters live; the global registry by
+        default.
+    """
+
+    def __init__(self, clock, registry: MetricsRegistry | None = None):
+        self.clock = clock
+        self.registry = registry if registry is not None else get_registry()
+        self.report: SelfProfileReport | None = None
+        self._t0 = 0.0
+        self._queries0: dict[tuple[str, ...], float] = {}
+        self._seconds0: dict[tuple[str, ...], float] = {}
+
+    def _samples(self, family_name: str) -> dict[tuple[str, ...], float]:
+        if family_name not in self.registry:
+            return {}
+        return dict(self.registry.get(family_name).samples())
+
+    def __enter__(self) -> "SelfProfiler":
+        self._t0 = float(self.clock.now)
+        self._queries0 = self._samples(_QUERIES)
+        self._seconds0 = self._samples(_SECONDS)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        window = float(self.clock.now) - self._t0
+        queries1 = self._samples(_QUERIES)
+        seconds1 = self._samples(_SECONDS)
+        collectors = []
+        for key in sorted(set(queries1) | set(seconds1)):
+            dq = queries1.get(key, 0.0) - self._queries0.get(key, 0.0)
+            ds = seconds1.get(key, 0.0) - self._seconds0.get(key, 0.0)
+            if dq <= 0.0 and ds <= 0.0:
+                continue
+            collectors.append(CollectorOverhead(
+                mechanism=key[0], queries=int(round(dq)), collection_s=ds,
+            ))
+        self.report = SelfProfileReport(
+            window_s=window, collectors=tuple(collectors),
+        )

@@ -1,0 +1,208 @@
+"""Lightweight span tracing driven by the simulation clock.
+
+A span is a named interval of *virtual* time with optional attributes
+and a nesting depth.  Spans are opened with a context manager or the
+``@tracer.trace(...)`` decorator; timing comes from whatever clock the
+tracer (or the individual span) is bound to — usually a
+:class:`repro.sim.clock.VirtualClock` — so traces are exactly as
+deterministic as the simulation itself.  A tracer bound to no clock
+still records structure (names, nesting, order) with zero-duration
+spans, which keeps tracing safe to leave on in code paths that have no
+clock in reach.
+
+The finished-span buffer is bounded: once ``max_spans`` is reached new
+spans are counted but dropped, so a runaway loop cannot observe itself
+into an out-of-memory.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+
+
+class _NullClock:
+    """Clock of last resort: time stands still, determinism is free."""
+
+    now = 0.0
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    t_start: float
+    t_end: float
+    depth: int
+    parent: str | None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+class _ActiveSpan:
+    """Context manager for one open span."""
+
+    __slots__ = ("tracer", "name", "clock", "attrs", "t_start", "parent",
+                 "depth", "_closed")
+
+    def __init__(self, tracer: "Tracer", name: str, clock, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.clock = clock
+        self.attrs = attrs
+        self.t_start = 0.0
+        self.parent: str | None = None
+        self.depth = 0
+        self._closed = False
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute to the span while it is open."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        self.t_start = float(self.clock.now)
+        stack = self.tracer._stack
+        self.parent = stack[-1].name if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._closed:  # pragma: no cover - double exit is a bug upstream
+            return
+        self._closed = True
+        stack = self.tracer._stack
+        if not stack or stack[-1] is not self:
+            raise ObservabilityError(
+                f"span {self.name!r} closed out of order"
+            )
+        stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._finish(SpanRecord(
+            name=self.name,
+            t_start=self.t_start,
+            t_end=float(self.clock.now),
+            depth=self.depth,
+            parent=self.parent,
+            attrs=self.attrs,
+        ))
+
+
+class Tracer:
+    """Collects spans for one process (or one test).
+
+    Parameters
+    ----------
+    clock:
+        Default timing source; any object with a ``now`` attribute.
+    max_spans:
+        Finished-span buffer bound; excess spans are counted in
+        ``spans_dropped`` and discarded.
+    """
+
+    def __init__(self, clock=None, max_spans: int = 10_000):
+        if max_spans <= 0:
+            raise ObservabilityError(
+                f"max_spans must be positive, got {max_spans}"
+            )
+        self._clock = clock if clock is not None else _NullClock()
+        self.max_spans = int(max_spans)
+        self._stack: list[_ActiveSpan] = []
+        self._finished: list[SpanRecord] = []
+        self.spans_started = 0
+        self.spans_dropped = 0
+
+    # -- clock binding ----------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Use ``clock`` (anything with ``.now``) for subsequent spans."""
+        self._clock = clock if clock is not None else _NullClock()
+
+    # -- span creation ----------------------------------------------------
+
+    def span(self, name: str, clock=None, **attrs) -> _ActiveSpan:
+        """Open a span as a context manager.
+
+        ``clock`` overrides the tracer's bound clock for this span only —
+        handy where the right clock is a local (a node's, a queue's).
+        """
+        self.spans_started += 1
+        return _ActiveSpan(self, str(name),
+                           clock if clock is not None else self._clock,
+                           dict(attrs))
+
+    def trace(self, name: str | None = None, **attrs):
+        """Decorator form: the wrapped call runs inside a span."""
+
+        def decorate(fn):
+            span_name = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- results ----------------------------------------------------------
+
+    def _finish(self, record: SpanRecord) -> None:
+        if len(self._finished) >= self.max_spans:
+            self.spans_dropped += 1
+            return
+        self._finished.append(record)
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the currently open span stack."""
+        return len(self._stack)
+
+    def finished(self, name: str | None = None) -> list[SpanRecord]:
+        """Finished spans in completion order, optionally by name."""
+        if name is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.name == name]
+
+    def total_time_s(self, name: str) -> float:
+        """Summed duration of every finished span with ``name``."""
+        return sum(s.duration_s for s in self._finished if s.name == name)
+
+    def reset(self) -> None:
+        """Drop finished spans and counters.  Open spans survive (they
+        belong to code still running) but will land in the fresh buffer."""
+        self._finished.clear()
+        self.spans_started = len(self._stack)
+        self.spans_dropped = 0
+
+    def render(self) -> str:
+        """Human-oriented indented listing of finished spans."""
+        lines = []
+        for span in self._finished:
+            indent = "  " * span.depth
+            attrs = ""
+            if span.attrs:
+                inner = ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+                attrs = f" [{inner}]"
+            lines.append(
+                f"{indent}{span.name}: {span.t_start:.6f}s "
+                f"+{span.duration_s:.6f}s{attrs}"
+            )
+        return "\n".join(lines)
+
+
+#: Process-global tracer, matching the global metrics registry.
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _GLOBAL_TRACER

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import struct
 
-from repro.errors import DriverError, VfsError
+from repro.errors import AccessDeniedError, DriverError, VfsError
 from repro.host.node import Node
 from repro.host.permissions import Credentials
 from repro.host.process import Process
+from repro.obs.instruments import collector
 from repro.rapl.package import CpuPackage
+
+_OBS = collector("rapl_msr")
 
 
 class _MsrCharDevice:
@@ -42,7 +45,12 @@ class _MsrCharDevice:
         self.node.clock.advance(CpuPackage.MSR_READ_LATENCY_S)
         if self.process is not None and self.process.alive:
             self.process.charge(CpuPackage.MSR_READ_LATENCY_S)
-        value = self.package.read_msr(offset, self.node.clock.now)
+        _OBS.record_query(CpuPackage.MSR_READ_LATENCY_S)
+        try:
+            value = self.package.read_msr(offset, self.node.clock.now)
+        except DriverError:
+            _OBS.record_error("unimplemented_msr")
+            raise
         return struct.pack("<Q", value)
 
     def pwrite(self, offset: int, data: bytes, creds: Credentials) -> int:
@@ -108,8 +116,15 @@ def read_msr_userspace(node: Node, cpu: int, address: int,
     """What a userspace tool does: open ``/dev/cpu/<n>/msr`` and pread.
 
     Raises AccessDeniedError unless the driver nodes were opened up (or
-    the caller is root), exactly the gate the paper describes.
+    the caller is root), exactly the gate the paper describes.  Denials
+    are counted in ``repro_collector_errors_total{mechanism="rapl_msr",
+    kind="permission_denied"}`` — a misdeployed profiler is observable,
+    not just broken.
     """
-    with node.vfs.open(f"/dev/cpu/{cpu}/msr", "r", creds) as fh:
-        (value,) = struct.unpack("<Q", fh.pread(address, 8))
-        return value
+    try:
+        with node.vfs.open(f"/dev/cpu/{cpu}/msr", "r", creds) as fh:
+            (value,) = struct.unpack("<Q", fh.pread(address, 8))
+            return value
+    except AccessDeniedError:
+        _OBS.record_error("permission_denied")
+        raise

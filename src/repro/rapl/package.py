@@ -17,6 +17,7 @@ import numpy as np
 from repro.devices.load import LoadBoard
 from repro.devices.power import BoardTrackingIntegral, ComponentPowerModel, LimitedSignal
 from repro.errors import DriverError, SensorError
+from repro.obs.instruments import RAPL_WRAPAROUNDS
 from repro.rapl.domains import RaplDomain
 from repro.rapl.msr import (
     ENERGY_STATUS_MSR,
@@ -121,6 +122,7 @@ class CpuPackage:
                 update_interval=model.counter_update_s,
                 jitter_s=jitter_s,
                 seed=self.rng.seed(f"rapl.{model.name}.{socket}.{domain.value}"),
+                domain=domain.value,
             )
             for domain in RaplDomain
         }
@@ -152,6 +154,13 @@ class CpuPackage:
         """Seconds until counter wrap at a mean power — the origin of the
         paper's ~60 s maximum sampling interval."""
         return self._counters[RaplDomain.PKG].wrap_period(mean_power_w)
+
+    def wraps_between(self, domain: RaplDomain, t0: float, t1: float) -> int:
+        """True number of 32-bit counter wraps in [t0, t1] — what the
+        wraparound metric reports when the interval is decoded."""
+        counter = self._counters[domain]
+        return (counter._quanta(t1) // counter.modulus
+                - counter._quanta(t0) // counter.modulus)
 
     # -- MSR register file ------------------------------------------------
 
@@ -232,7 +241,8 @@ class _JitteredCounter:
     """
 
     def __init__(self, signal, board: LoadBoard, units: RaplUnits,
-                 update_interval: float, jitter_s: float, seed: int):
+                 update_interval: float, jitter_s: float, seed: int,
+                 domain: str = ""):
         from repro.sim.hashrand import hash_normal
 
         self._hash_normal = hash_normal
@@ -243,6 +253,10 @@ class _JitteredCounter:
         self.seed = seed
         self.modulus = 1 << 32
         self._integral = BoardTrackingIntegral(signal, board, dt=1e-3)
+        # Wraparound events are emitted against this label; the counter
+        # knows its true (unwrapped) accumulation, so it can report the
+        # exact wrap count even where consumers only see a modular value.
+        self._wraps = RAPL_WRAPAROUNDS.labels(domain or "unknown")
 
     def wrap_period(self, mean_rate: float) -> float:
         if mean_rate <= 0.0:
@@ -257,16 +271,30 @@ class _JitteredCounter:
         # Jitter never reorders updates or reaches past the read time.
         return min(max(k * self.update_interval + jitter, 0.0), t)
 
-    def raw(self, t: float) -> int:
+    def _quanta(self, t: float) -> int:
+        """Unwrapped accumulated energy in counter quanta at ``t``."""
         if t < 0.0:
             raise SensorError("cannot read counter before t=0")
         energy = float(self._integral.value(self._update_time(t)))
-        return int(energy / self.units.energy_j + 1e-9) % self.modulus
+        return int(energy / self.units.energy_j + 1e-9)
+
+    def raw(self, t: float) -> int:
+        return self._quanta(t) % self.modulus
 
     def delta(self, t0: float, t1: float) -> float:
+        """Single-wrap-corrected delta, as every RAPL consumer decodes it.
+
+        The decode stays faithfully wrong past one wrap — that is the
+        paper's erroneous-data failure — but the *true* wrap count for
+        the interval is emitted to ``repro_rapl_wraparounds_total``, one
+        increment per wrap, so multi-wrap sampling is observable even
+        though it is not recoverable.
+        """
         if t1 < t0:
             raise SensorError(f"reads out of order: {t0} > {t1}")
-        diff = self.raw(t1) - self.raw(t0)
-        if diff < 0:
-            diff += self.modulus
+        q0, q1 = self._quanta(t0), self._quanta(t1)
+        wraps = q1 // self.modulus - q0 // self.modulus
+        if wraps > 0:
+            self._wraps.inc(wraps)
+        diff = (q1 - q0) % self.modulus
         return diff * self.units.energy_j

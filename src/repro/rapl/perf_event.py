@@ -18,8 +18,11 @@ from __future__ import annotations
 from repro.errors import KernelTooOldError
 from repro.host.node import Node
 from repro.host.process import Process
+from repro.obs.instruments import collector
 from repro.rapl.domains import RaplDomain
 from repro.rapl.package import CpuPackage
+
+_OBS = collector("rapl_perf")
 
 #: perf event name per RAPL domain.
 PERF_RAPL_EVENTS: dict[str, RaplDomain] = {
@@ -70,6 +73,7 @@ class PerfEventRapl:
         self.node.clock.advance(PERF_READ_LATENCY_S)
         if self.process is not None and self.process.alive:
             self.process.charge(PERF_READ_LATENCY_S)
+        _OBS.record_query(PERF_READ_LATENCY_S)
         t = self.node.clock.now
         joules = self.package.energy_raw(domain, t) * self.package.units.energy_j
         return int(joules / PERF_ENERGY_UNIT_J)

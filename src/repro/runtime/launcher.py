@@ -23,6 +23,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 from repro.errors import DeadlockError, RankError, RuntimeSimError
+from repro.obs.instruments import (
+    LAUNCHER_ERRORS,
+    LAUNCHER_MESSAGES,
+    LAUNCHER_RANKS,
+    LAUNCHER_RUNS,
+)
 from repro.runtime.interconnect import BGQ_TORUS, Interconnect
 from repro.runtime.ops import (
     ANY_SOURCE,
@@ -131,6 +137,13 @@ class Launcher:
                     break
                 self._raise_deadlock()
             self._step(state)
+        # Scheduling telemetry lands once per run, off the hot loop.
+        LAUNCHER_RUNS.inc()
+        LAUNCHER_RANKS.inc(self.size)
+        LAUNCHER_MESSAGES.labels("sent").inc(sum(s.sent for s in self._ranks))
+        LAUNCHER_MESSAGES.labels("received").inc(
+            sum(s.received for s in self._ranks)
+        )
         return [
             RankResult(rank=i, value=s.value, finish_time=s.time,
                        messages_sent=s.sent, messages_received=s.received,
@@ -165,6 +178,7 @@ class Launcher:
             return
         except Exception as exc:
             state.finished = True
+            LAUNCHER_ERRORS.labels("rank_crash").inc()
             raise RankError(rank, exc) from exc
         state.send_next = None
         self._dispatch(rank, state, op)
@@ -326,6 +340,7 @@ class Launcher:
                 blocked.append(f"rank {i} waiting on {state.blocked_on}")
             elif state.in_collective is not None:
                 blocked.append(f"rank {i} inside {type(state.in_collective).__name__}")
+        LAUNCHER_ERRORS.labels("deadlock").inc()
         raise DeadlockError("; ".join(blocked) or "no runnable ranks")
 
     # -- helpers ---------------------------------------------------------------

@@ -19,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ChecksumError, IpmbError
+from repro.obs.instruments import collector
 from repro.sim.clock import VirtualClock
 from repro.xeonphi.smc import SMC_SENSORS, SystemManagementController
+
+_OBS = collector("ipmb")
 
 #: One IPMB request/response exchange (100 kHz bus + SMC firmware).
 IPMB_EXCHANGE_LATENCY_S = 22e-3
@@ -140,10 +143,16 @@ class BaseboardManagementController:
         )
         self.clock.advance(IPMB_EXCHANGE_LATENCY_S)
         # Wire round trip: serialize, verify, handle, verify.
-        response = IpmbMessage.from_bytes(
-            self.responder.handle(IpmbMessage.from_bytes(request.to_bytes())).to_bytes()
-        )
+        try:
+            response = IpmbMessage.from_bytes(
+                self.responder.handle(IpmbMessage.from_bytes(request.to_bytes())).to_bytes()
+            )
+        except ChecksumError:
+            _OBS.record_error("checksum")
+            raise
+        _OBS.record_query(IPMB_EXCHANGE_LATENCY_S)
         if response.data[0] != 0x00:
+            _OBS.record_error("completion_code")
             raise IpmbError(f"completion code 0x{response.data[0]:02x}")
         return int.from_bytes(response.data[1:5], "little") / 1000.0
 

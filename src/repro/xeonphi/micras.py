@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from repro.errors import SensorError
 from repro.host.process import Process
+from repro.obs.instruments import collector
 from repro.xeonphi.card import PhiCard
 from repro.xeonphi.smc import SystemManagementController
 
 #: Per-read cost of a MICRAS pseudo-file (paper: "about 0.04 ms").
 MICRAS_READ_LATENCY_S = 0.04e-3
+
+_OBS = collector("micras")
 
 class MicrasDaemon:
     """The daemon instance on one card's uOS.
@@ -90,6 +93,7 @@ class MicrasDaemon:
         self.card.clock.advance(MICRAS_READ_LATENCY_S)
         if reader is not None and reader.alive:
             reader.charge(MICRAS_READ_LATENCY_S)
+        _OBS.record_query(MICRAS_READ_LATENCY_S)
         return self.card.uos_vfs.read_text(f"/sys/class/micras/{filename}")
 
     def read_power_w(self, reader: Process | None = None) -> float:

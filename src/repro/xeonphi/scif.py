@@ -21,7 +21,10 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ScifDisconnectedError, ScifError
+from repro.obs.instruments import SCIF_BYTES, SCIF_MESSAGES, collector
 from repro.sim.clock import VirtualClock
+
+_OBS = collector("scif")
 
 #: Well-known port of the SysMgmt agent on the card (Figure 6's
 #: "SysMgmt SCIF Interface").
@@ -64,15 +67,19 @@ class ScifEndpoint:
         """Deliver to the peer, charging the transit latency to the
         shared clock."""
         if not self.connected:
+            _OBS.record_error("disconnected")
             raise ScifDisconnectedError(
                 f"endpoint {self.node_id}:{self.port} is not connected"
             )
         self.network.clock.advance(message_latency(len(payload)))
         self.peer._inbox.messages.append(payload)
+        SCIF_MESSAGES.inc()
+        SCIF_BYTES.inc(len(payload))
 
     def recv(self) -> bytes:
         """Pop the oldest delivered message (SCIF recv on ready data)."""
         if self.closed:
+            _OBS.record_error("disconnected")
             raise ScifDisconnectedError("endpoint closed")
         if not self._inbox.messages:
             raise ScifError(

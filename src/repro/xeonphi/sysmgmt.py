@@ -24,7 +24,10 @@ import numpy as np
 
 from repro.errors import ScifError
 from repro.host.process import Process
+from repro.obs.instruments import collector
 from repro.workloads.base import Component
+
+_OBS = collector("sysmgmt")
 from repro.xeonphi.card import PhiCard
 from repro.xeonphi.scif import SCIF_SYSMGMT_PORT, ScifNetwork
 from repro.xeonphi.smc import SystemManagementController
@@ -84,6 +87,7 @@ class SysMgmtApi:
         """One in-band sensor read: request over SCIF, card-side
         collection, reply.  Charges the full 14.2 ms to the caller."""
         if not self._endpoint.connected:
+            _OBS.record_error("disconnected")
             raise ScifError("SysMgmt connection closed")
         request = json.dumps({"op": "read", "sensor": sensor}).encode()
         self._endpoint.send(request)
@@ -102,6 +106,7 @@ class SysMgmtApi:
         if self.process is not None and self.process.alive:
             self.process.charge(SYSMGMT_QUERY_LATENCY_S)
         self._queries += 1
+        _OBS.record_query(SYSMGMT_QUERY_LATENCY_S)
         return float(payload["value"])
 
     def query_power_w(self) -> float:

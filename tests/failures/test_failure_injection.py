@@ -1,8 +1,10 @@
-"""Failure-injection tests: the system degrades loudly, not silently."""
+"""Failure-injection tests: the system degrades loudly, not silently —
+and every injected failure leaves a fingerprint in the error counters."""
 
 import pytest
 
 from repro.core import moneq
+from repro.obs.instruments import COLLECTOR_ERRORS, LAUNCHER_ERRORS
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqSession
 from repro.core.moneq.backends import RaplMsrBackend
@@ -23,6 +25,13 @@ from repro.testbeds import phi_node, rapl_node
 from repro.xeonphi.ipmb import IpmbMessage, SmcIpmbResponder
 
 
+def _value(family_name: str, *label_values) -> float:
+    """Current global-registry value of one counter sample."""
+    import repro.obs as obs
+
+    return obs.get_registry().get(family_name).value(*label_values)
+
+
 class TestRuntimeFailures:
     def test_rank_crash_mid_communication_does_not_hang(self):
         def program(ctx):
@@ -32,9 +41,11 @@ class TestRuntimeFailures:
             yield Recv(source=0)
             yield Recv(source=0)  # would wait forever on the dead rank
 
+        before = LAUNCHER_ERRORS.value("rank_crash")
         with pytest.raises(RankError) as exc:
             Launcher(program, size=2).run()
         assert exc.value.rank == 0
+        assert LAUNCHER_ERRORS.value("rank_crash") == before + 1
 
     def test_survivors_blocked_on_dead_rank_deadlock_if_crash_is_silent(self):
         """A rank that returns early (not crashes) leaves waiters
@@ -44,8 +55,10 @@ class TestRuntimeFailures:
                 return "left early"
             yield Recv(source=0, tag=9)
 
+        before = LAUNCHER_ERRORS.value("deadlock")
         with pytest.raises(DeadlockError, match="tag=9"):
             Launcher(program, size=2).run()
+        assert LAUNCHER_ERRORS.value("deadlock") == before + 1
 
     def test_mixed_collective_entry_reported(self):
         def program(ctx):
@@ -62,8 +75,13 @@ class TestMoneqFailures:
     def test_buffer_exhaustion_surfaces_during_run(self):
         node, _ = rapl_node(seed=51)
         session = moneq.initialize(node, MoneqConfig(buffer_slots=5))
+        full_before = _value("repro_moneq_buffer_full_total")
+        errors_before = COLLECTOR_ERRORS.value("rapl_msr", "buffer_full")
         with pytest.raises(MoneqBufferFullError, match="buffer of 5"):
             node.events.run_until(node.clock.now + 60.0)
+        assert _value("repro_moneq_buffer_full_total") == full_before + 1
+        assert COLLECTOR_ERRORS.value("rapl_msr", "buffer_full") == \
+            errors_before + 1
         # State is still coherent: finalize is refused exactly once.
         session.finalize()
 
@@ -115,8 +133,21 @@ class TestDeviceFailures:
         rig = phi_node(seed=56)
         rig.sysmgmt.query_power_w()  # works
         rig.sysmgmt._endpoint.close()
+        before = COLLECTOR_ERRORS.value("sysmgmt", "disconnected")
         with pytest.raises((ScifDisconnectedError, Exception)):
             rig.sysmgmt.query_power_w()
+        assert COLLECTOR_ERRORS.value("sysmgmt", "disconnected") == before + 1
+
+    def test_scif_endpoint_send_after_close_counted(self):
+        rig = phi_node(seed=56)
+        endpoint = rig.sysmgmt._endpoint
+        endpoint.close()
+        before = COLLECTOR_ERRORS.value("scif", "disconnected")
+        with pytest.raises(ScifDisconnectedError):
+            endpoint.send(b"late")
+        with pytest.raises(ScifDisconnectedError):
+            endpoint.recv()
+        assert COLLECTOR_ERRORS.value("scif", "disconnected") == before + 2
 
     def test_msr_unload_revokes_device_nodes(self):
         node, _ = rapl_node(seed=57)
@@ -134,8 +165,11 @@ class TestDeviceFailures:
         from repro.rapl.driver import read_msr_userspace
         from repro.rapl.msr import MSR_RAPL_POWER_UNIT
 
+        before = COLLECTOR_ERRORS.value("rapl_msr", "permission_denied")
         with pytest.raises(AccessDeniedError):
             read_msr_userspace(node, 0, MSR_RAPL_POWER_UNIT, USER)
+        assert COLLECTOR_ERRORS.value("rapl_msr", "permission_denied") == \
+            before + 1
 
     def test_ipmb_misaddressed_request_rejected(self):
         rig = phi_node(seed=59)

@@ -1,0 +1,94 @@
+"""Prometheus text exposition format of the exporter."""
+
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram, render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+#: A valid sample line: name, optional {labels}, space, value.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]Inf|-?[0-9.e+-]+)$"
+)
+
+
+def test_counter_family_block():
+    c = Counter("repro_queries_total", "Queries issued")
+    c.inc(3)
+    text = render_prometheus([c])
+    assert text == (
+        "# HELP repro_queries_total Queries issued\n"
+        "# TYPE repro_queries_total counter\n"
+        "repro_queries_total 3\n"
+    )
+
+
+def test_labeled_samples_sorted_by_label_tuple():
+    c = Counter("repro_q_total", "t", label_names=("mechanism",))
+    c.labels("nvml").inc(2)
+    c.labels("emon").inc(1)
+    lines = render_prometheus([c]).splitlines()
+    assert lines[2] == 'repro_q_total{mechanism="emon"} 1'
+    assert lines[3] == 'repro_q_total{mechanism="nvml"} 2'
+
+
+def test_gauge_type_line():
+    g = Gauge("repro_fill_ratio", "t")
+    g.set(0.25)
+    lines = render_prometheus([g]).splitlines()
+    assert "# TYPE repro_fill_ratio gauge" in lines
+    assert "repro_fill_ratio 0.25" in lines
+
+
+def test_histogram_buckets_sum_count():
+    h = Histogram("repro_lat_seconds", "t", buckets=(0.01, 0.1))
+    h.observe(0.005)
+    h.observe(0.05)
+    lines = render_prometheus([h]).splitlines()
+    assert 'repro_lat_seconds_bucket{le="0.01"} 1' in lines
+    assert 'repro_lat_seconds_bucket{le="0.1"} 2' in lines
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in lines
+    assert "repro_lat_seconds_sum 0.055" in lines
+    assert "repro_lat_seconds_count 2" in lines
+
+
+def test_histogram_le_renders_after_other_labels():
+    h = Histogram("repro_lat_seconds", "t", buckets=(1.0,),
+                  label_names=("mechanism",))
+    h.labels("ipmb").observe(0.022)
+    text = render_prometheus([h])
+    assert 'repro_lat_seconds_bucket{mechanism="ipmb",le="1"} 1' in text
+
+
+def test_label_values_escaped():
+    c = Counter("repro_q_total", "t", label_names=("loc",))
+    c.labels('R00-"M0"\n\\end').inc()
+    text = render_prometheus([c])
+    assert '{loc="R00-\\"M0\\"\\n\\\\end"}' in text
+
+
+def test_help_newlines_escaped():
+    c = Counter("repro_q_total", "line one\nline two")
+    text = render_prometheus([c])
+    assert "# HELP repro_q_total line one\\nline two" in text
+
+
+def test_every_sample_line_is_well_formed():
+    registry = MetricsRegistry()
+    c = registry.counter("repro_a_total", "t", labels=("x",))
+    c.labels("v1").inc(2.5)
+    registry.gauge("repro_b", "t").set(-1.5)
+    registry.histogram("repro_c_seconds", "t", buckets=(0.1,)).observe(0.2)
+    for line in registry.render().splitlines():
+        if line.startswith("#"):
+            continue
+        assert SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+
+
+def test_empty_iterable_renders_empty_string():
+    assert render_prometheus([]) == ""
+
+
+def test_output_ends_with_single_newline():
+    c = Counter("repro_a_total", "t")
+    text = render_prometheus([c])
+    assert text.endswith("\n") and not text.endswith("\n\n")

@@ -1,0 +1,222 @@
+"""Metric primitive semantics: counters, gauges, histograms, labels."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    escape_label_value,
+    format_value,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("queries_total", "test")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5.0
+
+    def test_negative_increment_raises(self):
+        c = Counter("queries_total", "test")
+        c.inc(3)
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+        assert c.value() == 3.0  # untouched by the failed update
+
+    def test_zero_increment_allowed(self):
+        c = Counter("queries_total", "test")
+        c.inc(0)
+        assert c.value() == 0.0
+
+    def test_labeled_counter_tracks_each_tuple(self):
+        c = Counter("queries_total", "test", label_names=("mechanism",))
+        c.labels("emon").inc()
+        c.labels("nvml").inc(2)
+        c.labels("emon").inc()
+        assert c.value("emon") == 2.0
+        assert c.value("nvml") == 2.0
+        assert c.value("never_touched") == 0.0
+
+    def test_labeled_family_rejects_bare_inc(self):
+        c = Counter("queries_total", "test", label_names=("mechanism",))
+        with pytest.raises(ObservabilityError):
+            c.inc()
+
+    def test_labels_by_keyword(self):
+        c = Counter("errors_total", "test", label_names=("mechanism", "kind"))
+        c.labels(mechanism="scif", kind="disconnected").inc()
+        assert c.value("scif", "disconnected") == 1.0
+
+    def test_labels_mixing_positional_and_keyword_raises(self):
+        c = Counter("errors_total", "test", label_names=("mechanism", "kind"))
+        with pytest.raises(ObservabilityError):
+            c.labels("scif", kind="disconnected")
+
+    def test_wrong_label_arity_raises(self):
+        c = Counter("errors_total", "test", label_names=("mechanism", "kind"))
+        with pytest.raises(ObservabilityError):
+            c.labels("scif")
+
+    def test_wrong_keyword_names_raise(self):
+        c = Counter("errors_total", "test", label_names=("mechanism",))
+        with pytest.raises(ObservabilityError):
+            c.labels(mechanisms="typo")
+
+    def test_label_values_coerced_to_strings(self):
+        c = Counter("by_rank_total", "test", label_names=("rank",))
+        c.labels(3).inc()
+        assert c.value("3") == 1.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("fill_ratio", "test")
+        g.set(0.5)
+        assert g.value() == 0.5
+        g.inc(0.25)
+        g.dec(0.5)
+        assert g.value() == pytest.approx(0.25)
+
+    def test_gauge_may_go_negative(self):
+        g = Gauge("delta", "test")
+        g.dec(2)
+        assert g.value() == -2.0
+
+
+class TestHistogram:
+    def test_observe_places_in_first_bucket_with_le_upper(self):
+        h = Histogram("lat", "test", buckets=(0.001, 0.01, 0.1))
+        h.observe(0.005)
+        child = h.child()
+        # raw (non-cumulative) placement: second bucket only
+        assert child.counts[:3] == [0, 1, 0]
+
+    def test_boundary_value_is_inclusive(self):
+        # Prometheus 'le' is <=: an observation exactly on a bound
+        # belongs in that bound's bucket.
+        h = Histogram("lat", "test", buckets=(0.001, 0.01))
+        h.observe(0.001)
+        assert h.child().counts[0] == 1
+
+    def test_overflow_lands_in_inf_bucket(self):
+        h = Histogram("lat", "test", buckets=(0.001,))
+        h.observe(5.0)
+        assert h.uppers[-1] == math.inf
+        assert h.child().counts[-1] == 1
+
+    def test_cumulative_counts_monotone_and_end_at_count(self):
+        h = Histogram("lat", "test", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.005, 0.05, 99.0):
+            h.observe(v)
+        cum = h.child().cumulative_counts()
+        assert cum == sorted(cum)
+        assert cum[-1] == h.child().count == 5
+
+    def test_sum_accumulates(self):
+        h = Histogram("lat", "test", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(0.5)
+        assert h.child().sum == pytest.approx(0.75)
+
+    def test_inf_bucket_appended_when_missing(self):
+        h = Histogram("lat", "test", buckets=(0.1, 1.0))
+        assert h.uppers == (0.1, 1.0, math.inf)
+
+    def test_explicit_inf_bucket_not_duplicated(self):
+        h = Histogram("lat", "test", buckets=(0.1, math.inf))
+        assert h.uppers == (0.1, math.inf)
+
+    def test_unsorted_buckets_raise(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("lat", "test", buckets=(0.1, 0.1))
+
+    def test_empty_buckets_raise(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("lat", "test", buckets=())
+
+    def test_le_label_reserved(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("lat", "test", buckets=(1.0,), label_names=("le",))
+
+
+class TestLabelCardinality:
+    def test_cardinality_ceiling_enforced(self):
+        c = Counter("by_id_total", "test", label_names=("id",),
+                    max_label_sets=8)
+        for i in range(8):
+            c.labels(str(i)).inc()
+        with pytest.raises(ObservabilityError, match="cardinality"):
+            c.labels("one-too-many")
+
+    def test_existing_children_still_usable_at_ceiling(self):
+        c = Counter("by_id_total", "test", label_names=("id",),
+                    max_label_sets=2)
+        first = c.labels("a")
+        c.labels("b")
+        with pytest.raises(ObservabilityError):
+            c.labels("c")
+        first.inc()
+        assert c.value("a") == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", ["", "0starts_with_digit", "has space",
+                                      "has-dash"])
+    def test_bad_metric_names_raise(self, name):
+        with pytest.raises(ObservabilityError):
+            Counter(name, "test")
+
+    @pytest.mark.parametrize("label", ["__reserved", "0digit", "has-dash"])
+    def test_bad_label_names_raise(self, label):
+        with pytest.raises(ObservabilityError):
+            Counter("ok_total", "test", label_names=(label,))
+
+    def test_duplicate_label_names_raise(self):
+        with pytest.raises(ObservabilityError):
+            Counter("ok_total", "test", label_names=("a", "a"))
+
+
+class TestEnableGating:
+    def test_disabled_registry_makes_updates_noops(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        c = registry.counter("n_total", "test")
+        h = registry.histogram("lat", "test", buckets=(1.0,))
+        g = registry.gauge("fill", "test")
+        registry.enabled = False
+        c.inc()
+        h.observe(0.5)
+        g.set(3.0)
+        assert c.value() == 0.0
+        assert h.child().count == 0
+        assert g.value() == 0.0
+        registry.enabled = True
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_registryless_family_is_always_enabled(self):
+        c = Counter("n_total", "test")
+        assert c.enabled
+        c.inc()
+        assert c.value() == 1.0
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.5) == "0.5"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"

@@ -1,0 +1,146 @@
+"""Registry semantics: get-or-create, reset isolation, merging."""
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ObservabilityError
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+class TestDeclaration:
+    def test_get_or_create_returns_same_family(self):
+        r = MetricsRegistry()
+        a = r.counter("repro_q_total", "t", labels=("mechanism",))
+        b = r.counter("repro_q_total", "t", labels=("mechanism",))
+        assert a is b
+
+    def test_redeclare_different_kind_raises(self):
+        r = MetricsRegistry()
+        r.counter("repro_x_total", "t")
+        with pytest.raises(ObservabilityError, match="redeclared"):
+            r.gauge("repro_x_total", "t")
+
+    def test_redeclare_different_labels_raises(self):
+        r = MetricsRegistry()
+        r.counter("repro_x_total", "t", labels=("a",))
+        with pytest.raises(ObservabilityError, match="labels"):
+            r.counter("repro_x_total", "t", labels=("b",))
+
+    def test_redeclare_histogram_different_buckets_raises(self):
+        r = MetricsRegistry()
+        r.histogram("repro_lat", "t", buckets=(0.1, 1.0))
+        with pytest.raises(ObservabilityError, match="buckets"):
+            r.histogram("repro_lat", "t", buckets=(0.2, 1.0))
+
+    def test_redeclare_histogram_same_buckets_ok(self):
+        r = MetricsRegistry()
+        a = r.histogram("repro_lat", "t", buckets=(0.1, 1.0))
+        b = r.histogram("repro_lat", "t", buckets=(0.1, 1.0))
+        c = r.histogram("repro_lat", "t")  # buckets omitted: no check
+        assert a is b is c
+
+    def test_get_and_contains(self):
+        r = MetricsRegistry()
+        family = r.counter("repro_x_total", "t")
+        assert r.get("repro_x_total") is family
+        assert "repro_x_total" in r
+        assert "repro_missing" not in r
+        with pytest.raises(ObservabilityError):
+            r.get("repro_missing")
+
+
+class TestReset:
+    def test_reset_zeroes_samples(self):
+        r = MetricsRegistry()
+        c = r.counter("repro_x_total", "t")
+        h = r.histogram("repro_lat", "t", buckets=(1.0,))
+        c.inc(5)
+        h.observe(0.5)
+        r.reset()
+        assert c.value() == 0.0
+        assert h.child().count == 0
+        assert h.child().sum == 0.0
+
+    def test_cached_child_handles_survive_reset(self):
+        # The load-bearing property: collectors cache children at import.
+        r = MetricsRegistry()
+        family = r.counter("repro_x_total", "t", labels=("mechanism",))
+        handle = family.labels("emon")
+        handle.inc(7)
+        r.reset()
+        assert family.value("emon") == 0.0
+        handle.inc()  # the pre-reset handle must still be wired in
+        assert family.value("emon") == 1.0
+
+    def test_global_registry_is_never_replaced(self):
+        before = get_registry()
+        obs.reset()
+        assert get_registry() is before
+
+    def test_reset_isolates_tests_sharing_the_global_registry(self):
+        from repro.obs.instruments import collector
+
+        instrument = collector("reset_isolation_probe")
+        instrument.count_query(3)
+        assert instrument.queries == 3.0
+        obs.reset()
+        assert instrument.queries == 0.0
+
+
+class TestCollect:
+    def test_collect_snapshots_plain_data(self):
+        r = MetricsRegistry()
+        r.counter("repro_x_total", "t", labels=("m",)).labels("a").inc(2)
+        r.histogram("repro_lat", "t", buckets=(1.0,)).observe(0.5)
+        snap = r.collect()
+        assert snap["repro_x_total"][("a",)] == 2.0
+        hist = snap["repro_lat"][()]
+        assert hist["count"] == 1
+        assert hist["counts"][-1] == 1
+
+
+class TestMerge:
+    def _make(self, queries: float, lat: float, fill: float) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("repro_q_total", "t", labels=("m",)).labels("emon").inc(queries)
+        r.histogram("repro_lat", "t", buckets=(0.01, 0.1)).observe(lat)
+        r.gauge("repro_fill", "t").set(fill)
+        return r
+
+    def test_counters_and_histograms_add_gauges_last_write(self):
+        a = self._make(2, 0.005, 0.25)
+        b = self._make(3, 0.05, 0.75)
+        a.merge_from(b)
+        assert a.get("repro_q_total").value("emon") == 5.0
+        child = a.get("repro_lat").child()
+        assert child.count == 2
+        assert child.sum == pytest.approx(0.055)
+        assert child.cumulative_counts() == [1, 2, 2]
+        assert a.get("repro_fill").value() == 0.75
+
+    def test_merged_is_sum_of_parts(self):
+        parts = [self._make(i + 1, 0.005 * (i + 1), 0.1 * i) for i in range(3)]
+        total = MetricsRegistry.merged(*parts)
+        assert total.get("repro_q_total").value("emon") == 6.0
+        assert total.get("repro_lat").child().count == 3
+
+    def test_merge_into_empty_creates_families(self):
+        a = MetricsRegistry()
+        b = self._make(4, 0.02, 0.5)
+        a.merge_from(b)
+        assert a.get("repro_q_total").value("emon") == 4.0
+
+    def test_merge_incompatible_kind_raises(self):
+        a = MetricsRegistry()
+        a.gauge("repro_q_total", "t", labels=("m",))
+        b = MetricsRegistry()
+        b.counter("repro_q_total", "t", labels=("m",))
+        with pytest.raises(ObservabilityError):
+            a.merge_from(b)
+
+    def test_merge_does_not_mutate_source(self):
+        a = self._make(2, 0.005, 0.25)
+        b = self._make(3, 0.05, 0.75)
+        a.merge_from(b)
+        assert b.get("repro_q_total").value("emon") == 3.0
+        assert b.get("repro_lat").child().count == 1

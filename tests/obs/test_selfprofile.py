@@ -1,0 +1,81 @@
+"""SelfProfiler: Table III methodology applied to our own collectors."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import SelfProfiler
+from repro.obs.instruments import collector
+from repro.sim.clock import VirtualClock
+
+
+def test_profile_window_attributes_queries_to_mechanisms():
+    clock = VirtualClock()
+    emon = collector("emon")
+    msr = collector("rapl_msr")
+    emon.record_query(1.10e-3)  # outside the window: must not count
+    with SelfProfiler(clock) as prof:
+        for _ in range(4):
+            emon.record_query(1.10e-3)
+            clock.advance(0.560)
+        for _ in range(10):
+            msr.record_query(0.03e-3)
+            clock.advance(0.060)
+    report = prof.report
+    assert report.window_s == pytest.approx(4 * 0.560 + 10 * 0.060)
+    assert report.mechanism("emon").queries == 4
+    assert report.mechanism("emon").collection_s == pytest.approx(4 * 1.10e-3)
+    assert report.mechanism("rapl_msr").queries == 10
+    assert report.total_queries == 14
+
+
+def test_percent_of_window_matches_paper_arithmetic():
+    # EMON at its floor interval: 1.10 ms / 560 ms ~= 0.196 % (paper §III).
+    clock = VirtualClock()
+    emon = collector("emon")
+    with SelfProfiler(clock) as prof:
+        for _ in range(100):
+            emon.record_query(1.10e-3)
+            clock.advance(0.560)
+    pct = prof.report.mechanism("emon").percent_of(prof.report.window_s)
+    assert pct == pytest.approx(100 * 1.10e-3 / 0.560, rel=1e-6)
+    assert prof.report.percent_of_window == pytest.approx(pct)
+
+
+def test_unknown_mechanism_raises():
+    clock = VirtualClock()
+    with SelfProfiler(clock) as prof:
+        clock.advance(1.0)
+    with pytest.raises(ObservabilityError):
+        prof.report.mechanism("never_ran")
+
+
+def test_untouched_mechanisms_omitted():
+    clock = VirtualClock()
+    ipmb = collector("ipmb")
+    with SelfProfiler(clock) as prof:
+        ipmb.record_query(22e-3)
+        clock.advance(1.0)
+    mechanisms = [c.mechanism for c in prof.report.collectors]
+    assert mechanisms == ["ipmb"]
+
+
+def test_table_rows_and_render():
+    clock = VirtualClock()
+    nvml = collector("nvml")
+    with SelfProfiler(clock) as prof:
+        nvml.record_query(1.3e-3)
+        clock.advance(0.060)
+    rows = prof.report.as_table_rows()
+    assert rows[-1]["Mechanism"] == "total"
+    assert rows[0]["Queries"] == 1
+    text = prof.report.render()
+    assert "nvml" in text and "total" in text
+
+
+def test_zero_window_reports_zero_percent():
+    clock = VirtualClock()
+    emon = collector("emon")
+    with SelfProfiler(clock) as prof:
+        emon.record_query(1.10e-3)
+    assert prof.report.window_s == 0.0
+    assert prof.report.percent_of_window == 0.0

@@ -1,0 +1,176 @@
+"""Span tracing: nesting, deterministic timing, bounds, reset."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.tracing import Tracer, get_tracer
+from repro.sim.clock import VirtualClock
+
+
+class TestTiming:
+    def test_span_measures_virtual_time(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("work"):
+            clock.advance(2.5)
+        (span,) = tracer.finished("work")
+        assert span.t_start == 0.0
+        assert span.t_end == 2.5
+        assert span.duration_s == 2.5
+
+    def test_timing_is_deterministic(self):
+        def run() -> list[tuple[float, float]]:
+            clock = VirtualClock()
+            tracer = Tracer()
+            tracer.bind_clock(clock)
+            for i in range(3):
+                with tracer.span("step"):
+                    clock.advance(0.125 * (i + 1))
+            return [(s.t_start, s.t_end) for s in tracer.finished()]
+
+        assert run() == run()
+
+    def test_unbound_tracer_records_zero_duration_structure(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.finished()
+        assert span.duration_s == 0.0
+        assert span.name == "work"
+
+    def test_per_span_clock_override(self):
+        bound, local = VirtualClock(), VirtualClock()
+        tracer = Tracer(bound)
+        with tracer.span("work", clock=local):
+            local.advance(1.0)
+            bound.advance(10.0)
+        (span,) = tracer.finished()
+        assert span.duration_s == 1.0
+
+    def test_total_time_s_sums_by_name(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        for _ in range(3):
+            with tracer.span("tick"):
+                clock.advance(0.5)
+        with tracer.span("other"):
+            clock.advance(9.0)
+        assert tracer.total_time_s("tick") == pytest.approx(1.5)
+
+
+class TestNesting:
+    def test_depth_and_parent_recorded(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+        inner, outer = tracer.finished()  # completion order: inner first
+        assert inner.name == "inner" and inner.depth == 1
+        assert inner.parent == "outer"
+        assert outer.depth == 0 and outer.parent is None
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer(VirtualClock())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_decorator_wraps_call(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+
+        @tracer.trace("timed", kind="test")
+        def work(x):
+            clock.advance(1.0)
+            return x * 2
+
+        assert work(21) == 42
+        (span,) = tracer.finished("timed")
+        assert span.duration_s == 1.0
+        assert span.attrs["kind"] == "test"
+
+    def test_decorator_default_name_is_qualname(self):
+        tracer = Tracer()
+
+        @tracer.trace()
+        def my_function():
+            return 1
+
+        my_function()
+        assert tracer.finished()[0].name.endswith("my_function")
+
+
+class TestAttributesAndErrors:
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work", nodes=32) as span:
+            span.set_attr("ticks", 7)
+        (record,) = tracer.finished()
+        assert record.attrs == {"nodes": 32, "ticks": 7}
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = Tracer(VirtualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        (span,) = tracer.finished()
+        assert span.attrs["error"] == "ValueError"
+        assert tracer.depth == 0  # stack unwound
+
+
+class TestBounds:
+    def test_buffer_bound_drops_and_counts(self):
+        tracer = Tracer(VirtualClock(), max_spans=3)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.finished()) == 3
+        assert tracer.spans_started == 5
+        assert tracer.spans_dropped == 2
+
+    def test_nonpositive_max_spans_raises(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(max_spans=0)
+
+    def test_reset_clears_finished_and_counters(self):
+        tracer = Tracer(VirtualClock(), max_spans=2)
+        for _ in range(4):
+            with tracer.span("s"):
+                pass
+        tracer.reset()
+        assert tracer.finished() == []
+        assert tracer.spans_started == 0
+        assert tracer.spans_dropped == 0
+        with tracer.span("after"):
+            pass
+        assert len(tracer.finished()) == 1
+
+    def test_reset_keeps_open_spans_live(self):
+        tracer = Tracer(VirtualClock())
+        span = tracer.span("long_lived")
+        span.__enter__()
+        tracer.reset()
+        assert tracer.spans_started == 1  # the still-open span
+        span.__exit__(None, None, None)
+        assert [s.name for s in tracer.finished()] == ["long_lived"]
+
+
+class TestRender:
+    def test_render_indents_by_depth(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer"):
+            with tracer.span("inner", nodes=2):
+                clock.advance(1.0)
+        lines = tracer.render().splitlines()
+        assert lines[0].startswith("  inner: ")
+        assert "[nodes=2]" in lines[0]
+        assert lines[1].startswith("outer: ")
+
+
+def test_global_tracer_is_stable():
+    assert get_tracer() is get_tracer()

@@ -1,0 +1,131 @@
+"""Property-based invariants of the ``repro.obs`` metric primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Counter, Histogram
+from repro.obs.registry import MetricsRegistry
+
+#: Observations that can land anywhere across the default latency range.
+observations = st.floats(min_value=0.0, max_value=1.0,
+                         allow_nan=False, allow_infinity=False)
+
+#: Strictly increasing finite bucket ladders.
+bucket_ladders = st.lists(
+    st.floats(min_value=1e-6, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=8, unique=True,
+).map(lambda bs: tuple(sorted(bs)))
+
+
+class TestHistogramInvariants:
+    @given(values=st.lists(observations, max_size=60), buckets=bucket_ladders)
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_buckets_monotone_nondecreasing(self, values, buckets):
+        h = Histogram("lat_seconds", "t", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        cum = h.child().cumulative_counts()
+        assert all(a <= b for a, b in zip(cum, cum[1:]))
+
+    @given(values=st.lists(observations, max_size=60), buckets=bucket_ladders)
+    @settings(max_examples=60, deadline=None)
+    def test_inf_bucket_counts_everything(self, values, buckets):
+        h = Histogram("lat_seconds", "t", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        child = h.child()
+        assert h.uppers[-1] == math.inf
+        assert child.cumulative_counts()[-1] == child.count == len(values)
+        assert child.sum == pytest.approx(sum(values))
+
+    @given(values=st.lists(observations, min_size=1, max_size=60),
+           buckets=bucket_ladders)
+    @settings(max_examples=60, deadline=None)
+    def test_each_observation_lands_in_every_covering_bucket(self, values,
+                                                            buckets):
+        h = Histogram("lat_seconds", "t", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        cum = h.child().cumulative_counts()
+        for upper, got in zip(h.uppers, cum):
+            assert got == sum(1 for v in values if v <= upper)
+
+
+class TestCounterInvariants:
+    @given(st.lists(st.floats(min_value=-10.0, max_value=10.0,
+                              allow_nan=False), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_counter_never_decreases(self, amounts):
+        c = Counter("n_total", "t")
+        seen = [0.0]
+        for amount in amounts:
+            try:
+                c.inc(amount)
+            except ObservabilityError:
+                assert amount < 0.0
+            seen.append(c.value())
+        assert seen == sorted(seen)
+        assert c.value() == pytest.approx(
+            sum(a for a in amounts if a >= 0.0))
+
+
+class TestMergeInvariants:
+    @given(
+        per_part=st.lists(
+            st.tuples(
+                st.lists(st.tuples(st.sampled_from(["emon", "nvml", "ipmb"]),
+                                   st.floats(min_value=0.0, max_value=5.0,
+                                             allow_nan=False)),
+                         max_size=10),
+                st.lists(observations, max_size=10),
+            ),
+            min_size=1, max_size=4,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merged_registries_equal_sum_of_parts(self, per_part):
+        parts = []
+        for incs, obs_values in per_part:
+            r = MetricsRegistry()
+            counter = r.counter("q_total", "t", labels=("m",))
+            hist = r.histogram("lat_seconds", "t", buckets=(0.1, 0.5))
+            for mechanism, amount in incs:
+                counter.labels(mechanism).inc(amount)
+            for v in obs_values:
+                hist.observe(v)
+            parts.append(r)
+
+        merged = MetricsRegistry.merged(*parts)
+
+        for mechanism in ("emon", "nvml", "ipmb"):
+            expected = sum(
+                p.get("q_total").value(mechanism) for p in parts)
+            assert merged.get("q_total").value(mechanism) == pytest.approx(
+                expected)
+
+        merged_hist = merged.get("lat_seconds").child()
+        part_children = [p.get("lat_seconds").child() for p in parts]
+        assert merged_hist.count == sum(c.count for c in part_children)
+        assert merged_hist.sum == pytest.approx(
+            sum(c.sum for c in part_children))
+        summed = [sum(c.counts[i] for c in part_children)
+                  for i in range(len(merged_hist.counts))]
+        assert merged_hist.counts == summed
+
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0,
+                              allow_nan=False),
+                    min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_gauge_takes_last_registry_value(self, values):
+        parts = []
+        for v in values:
+            r = MetricsRegistry()
+            r.gauge("fill", "t").set(v)
+            parts.append(r)
+        merged = MetricsRegistry.merged(*parts)
+        assert merged.get("fill").value() == values[-1]

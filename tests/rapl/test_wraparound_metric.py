@@ -1,0 +1,93 @@
+"""Regression: 32-bit wraparounds emit their event exactly once per wrap.
+
+The decoded energy keeps the paper's single-wrap correction (multi-wrap
+sampling still produces the erroneous data §II-B warns about), but the
+``repro_rapl_wraparounds_total`` counter reports the *true* wrap count —
+one increment per elapsed wrap, no more, no less, however the interval
+is chopped up.
+"""
+
+import pytest
+
+from repro.obs.instruments import RAPL_WRAPAROUNDS, RAPL_WRAP_CORRECTIONS
+from repro.rapl.domains import RaplDomain
+from repro.rapl.package import SANDY_BRIDGE, CpuPackage
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def package() -> CpuPackage:
+    return CpuPackage(SANDY_BRIDGE, rng=RngRegistry(99))
+
+
+def _pkg_wraps() -> float:
+    return RAPL_WRAPAROUNDS.value(RaplDomain.PKG.value)
+
+
+class TestWraparoundMetric:
+    def test_no_wrap_no_event(self, package):
+        before = _pkg_wraps()
+        package.energy_joules_between(RaplDomain.PKG, 0.0, 60.0)
+        assert _pkg_wraps() == before
+
+    def test_single_wrap_emits_exactly_one(self, package):
+        gap = package.wrap_period_at(SANDY_BRIDGE.idle_w) * 1.5
+        assert package.wraps_between(RaplDomain.PKG, 0.0, gap) == 1
+        before = _pkg_wraps()
+        package.energy_joules_between(RaplDomain.PKG, 0.0, gap)
+        assert _pkg_wraps() == before + 1
+
+    def test_multi_wrap_emits_once_per_wrap(self, package):
+        """One decoded delta spanning several wraps: the event count is
+        the true wrap count, not one, not per-read."""
+        gap = package.wrap_period_at(SANDY_BRIDGE.idle_w) * 3.4
+        true_wraps = package.wraps_between(RaplDomain.PKG, 0.0, gap)
+        assert true_wraps == 3
+        before = _pkg_wraps()
+        package.energy_joules_between(RaplDomain.PKG, 0.0, gap)
+        assert _pkg_wraps() == before + true_wraps
+
+    def test_chopped_interval_emits_same_total(self, package):
+        """Reading the same multi-wrap window in sub-wrap steps reports
+        the identical wrap total — no double counting at step seams."""
+        wrap_s = package.wrap_period_at(SANDY_BRIDGE.idle_w)
+        t_end = wrap_s * 3.4
+        true_wraps = package.wraps_between(RaplDomain.PKG, 0.0, t_end)
+        step = wrap_s / 3.0
+        before = _pkg_wraps()
+        t = 0.0
+        while t < t_end:
+            t_next = min(t + step, t_end)
+            package.energy_joules_between(RaplDomain.PKG, t, t_next)
+            t = t_next
+        assert _pkg_wraps() == before + true_wraps
+
+    def test_decode_stays_single_wrap_corrected(self, package):
+        """The metric does NOT fix the data: past one wrap the decoded
+        energy is still short by a whole wrap per extra wrap — the
+        erroneous data the paper warns about remains faithfully wrong."""
+        wrap_s = package.wrap_period_at(SANDY_BRIDGE.idle_w)
+        gap = wrap_s * 2.5
+        measured = package.energy_joules_between(RaplDomain.PKG, 0.0, gap)
+        true = SANDY_BRIDGE.idle_w * gap
+        assert measured < true * 0.75
+
+    def test_wraps_between_is_pure(self, package):
+        """The truth helper reports without emitting events."""
+        gap = package.wrap_period_at(SANDY_BRIDGE.idle_w) * 2.2
+        before = _pkg_wraps()
+        assert package.wraps_between(RaplDomain.PKG, 0.0, gap) == 2
+        assert _pkg_wraps() == before
+
+
+class TestConsumerCorrections:
+    def test_msr_backend_counts_its_single_wrap_correction(self, package):
+        from repro.core.moneq.backends import RaplMsrBackend
+
+        backend = RaplMsrBackend(package, "s0")
+        wrap_s = package.wrap_period_at(SANDY_BRIDGE.idle_w)
+        before = RAPL_WRAP_CORRECTIONS.value("rapl_msr")
+        backend.read_at(wrap_s * 0.9)   # primes _last just before the wrap
+        backend.read_at(wrap_s * 1.1)   # raw went backwards: correction
+        after = RAPL_WRAP_CORRECTIONS.value("rapl_msr")
+        assert after >= before + 1
