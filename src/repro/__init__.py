@@ -18,8 +18,17 @@ Quickstart (the paper's "two lines of code")::
     result = moneq.finalize(session)          # line 2: finalize power
     print(result.trace("pkg").mean())
 
+The supported public surface is re-exported by :mod:`repro.api`
+(versioned, with a documented compatibility policy — see
+``docs/api.md``); deep imports keep working but are implementation
+detail.
+
 Subpackages
 -----------
+``repro.api``
+    The versioned public facade.
+``repro.store``
+    Sharded, write-batched time-series storage and query engine.
 ``repro.sim``
     Discrete-event simulation substrate: virtual clock, event queue,
     deterministic hash-based noise, continuous signals, traces.

@@ -7,6 +7,8 @@
     python -m repro all                 # regenerate everything
     python -m repro report              # print EXPERIMENTS.md content
     python -m repro obs dump [target..] # run exercises, dump metrics+spans
+    python -m repro store bench [racks [shards [interval_s]]]
+                                        # exercise the sharded envdb store
 """
 
 from __future__ import annotations
@@ -48,6 +50,73 @@ def _obs_command(args: list[str]) -> int:
     return 0
 
 
+def _store_command(args: list[str]) -> int:
+    """``repro store bench [racks [shards [interval_s]]]`` — stand up a
+    sharded envdb, run polling sweeps, exercise every query kind, and
+    print the paper-vs-store numbers plus the ``repro_store_*`` metric
+    families from the existing exporter."""
+    import time
+
+    import repro.obs as obs
+    from repro.analysis.tables import format_aggregates, format_table
+    from repro.bgq.machine import BgqMachine
+    from repro.sim.rng import RngRegistry
+
+    if not args or args[0] != "bench":
+        print("usage: python -m repro store bench [racks [shards [interval_s]]]",
+              file=sys.stderr)
+        return 2
+    try:
+        racks = int(args[1]) if len(args) > 1 else 4
+        shards = int(args[2]) if len(args) > 2 else 4
+        interval_s = float(args[3]) if len(args) > 3 else 240.0
+    except ValueError:
+        print("store bench arguments must be numeric: "
+              "[racks [shards [interval_s]]]", file=sys.stderr)
+        return 2
+
+    sweeps = 6
+    machine = BgqMachine(racks=racks, rng=RngRegistry(0x5708E),
+                         poll_interval_s=interval_s, envdb_shards=shards)
+    machine.advance_to(interval_s * sweeps)
+    envdb = machine.envdb
+    store = envdb.store
+    window = interval_s * sweeps
+
+    repeats = 20
+    t_start = time.perf_counter()
+    for _ in range(repeats):
+        aggs = envdb.aggregate("bpm", "input_power_w", 0.0, window,
+                               window, "R00")
+    cached_s = (time.perf_counter() - t_start) / repeats
+    rows = store.range("bpm", 0.0, window, "R00-M0-N00")
+    latest = store.latest("bpm", "R00")
+
+    print(format_table(
+        ("metric", "value"),
+        [
+            ("racks / shards", f"{racks} / {store.n_shards}"),
+            ("poll interval", f"{interval_s:.0f} s x {sweeps} sweeps"),
+            ("records ingested", str(store.records_ingested)),
+            ("records dropped", str(store.dropped_records)),
+            ("batches flushed", str(store.batches_flushed)),
+            ("hottest-shard load", f"{envdb.capacity_fraction():.2f}x"),
+            ("range rows (one board)", str(len(rows))),
+            ("latest locations (R00)", str(len(latest))),
+            ("aggregate query (cached)", f"{cached_s * 1e3:.3f} ms"),
+        ],
+        title=f"[repro store bench] sharded envdb, plan="
+              f"{store.plan('aggregate', 'bpm', 'R00-M0').fan_out} shard(s)",
+    ))
+    print()
+    print(format_aggregates(aggs[:8], title="[aggregates] R00, first rows"))
+    print()
+    store_lines = [line for line in obs.dump().splitlines()
+                   if "repro_store" in line]
+    print("\n".join(store_lines))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if not args or args[0] in ("-h", "--help", "help"):
@@ -60,6 +129,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if command == "obs":
         return _obs_command(args[1:])
+    if command == "store":
+        return _store_command(args[1:])
     if command == "report":
         report_module.main()
         return 0

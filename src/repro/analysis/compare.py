@@ -14,6 +14,36 @@ import numpy as np
 
 from repro.analysis.stats import AnalysisError
 from repro.sim.trace import TraceSeries
+from repro.store import Reading, ShardedStore
+
+
+def series_from_readings(readings: list[Reading], field: str,
+                         name: str | None = None,
+                         units: str = "") -> TraceSeries:
+    """A :class:`TraceSeries` over one field of normalized readings.
+
+    This is the adapter every store consumer uses instead of
+    special-casing per-platform record shapes: any mechanism whose
+    output has been normalized to :class:`repro.store.Reading` plots
+    and compares through the same path.
+    """
+    if not readings:
+        raise AnalysisError("cannot build a series from zero readings")
+    return TraceSeries(
+        np.asarray([r.timestamp for r in readings], dtype=np.float64),
+        np.asarray([r.value(field) for r in readings], dtype=np.float64),
+        name=name if name is not None else field,
+        units=units,
+    )
+
+
+def store_series(store: ShardedStore, table: str, field: str,
+                 t0: float, t1: float, location_prefix: str = "",
+                 units: str = "") -> TraceSeries:
+    """One field's series straight out of a sharded-store range query."""
+    readings = store.range(table, t0, t1, location_prefix)
+    return series_from_readings(readings, field,
+                                name=f"{table}.{field}", units=units)
 
 
 @dataclass(frozen=True)

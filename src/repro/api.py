@@ -1,0 +1,91 @@
+"""``repro.api`` — the versioned, supported public surface.
+
+This module is the documented entry point for the package: everything a
+consumer needs to profile a node (the paper's "two lines of code"),
+query environmental data through the sharded store, configure sessions,
+and catch errors, re-exported from one place.
+
+Compatibility policy
+--------------------
+* Names listed in ``__all__`` here are **supported**: they keep their
+  signatures and semantics within a major version of the package, and
+  removals or breaking changes are announced one minor release ahead
+  via a deprecation note in ``docs/api.md``.
+* Deep imports (``repro.core.moneq.session``, ``repro.bgq.envdb``, …)
+  keep working — nothing is hidden — but they are implementation
+  modules: they may move or change between minor releases without
+  notice.  New code should import from ``repro.api``.
+* :data:`API_VERSION` identifies this surface; it bumps only when a
+  supported name changes incompatibly.
+
+See ``docs/api.md`` for the name-by-name reference.
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.analysis.compare import series_from_readings, store_series
+from repro.bgq.envdb import EnvironmentalDatabase, EnvRecord
+from repro.core.moneq.api import (
+    backends_for_node,
+    finalize,
+    initialize,
+    profile_run,
+)
+from repro.core.moneq.config import MoneqConfig
+from repro.core.moneq.session import MoneqResult, MoneqSession
+from repro.errors import (
+    ConfigError,
+    DeviceError,
+    MoneqBufferFullError,
+    MoneqError,
+    MoneqStateError,
+    ReproError,
+    SensorError,
+)
+from repro.store import (
+    Aggregate,
+    FlushReport,
+    QueryPlan,
+    Reading,
+    ShardedStore,
+    ShardMap,
+    WriteBatcher,
+)
+
+#: Version of the supported surface (not the package release).
+API_VERSION = "1"
+
+__all__ = [
+    # session lifecycle — the paper's two-line API
+    "initialize",
+    "finalize",
+    "profile_run",
+    "backends_for_node",
+    "MoneqConfig",
+    "MoneqSession",
+    "MoneqResult",
+    # environmental data plane
+    "EnvironmentalDatabase",
+    "EnvRecord",
+    "ShardedStore",
+    "ShardMap",
+    "WriteBatcher",
+    "Reading",
+    "Aggregate",
+    "QueryPlan",
+    "FlushReport",
+    "series_from_readings",
+    "store_series",
+    # error types
+    "ReproError",
+    "ConfigError",
+    "DeviceError",
+    "SensorError",
+    "MoneqError",
+    "MoneqStateError",
+    "MoneqBufferFullError",
+    # metadata
+    "API_VERSION",
+    "__version__",
+]

@@ -10,21 +10,26 @@ minutes on average but can be configured anywhere within a range of
 the resulting volume of data alone would exceed the server's processing
 capacity."  (paper §II-A)
 
-The store keeps typed records per table (``bpm``, ``coolant``,
-``temperature``, ``fan``) with timestamp + location, supports range/
-prefix queries, and models the DB server's ingest-capacity ceiling.
+Storage routes through :class:`repro.store.ShardedStore`: records shard
+by rack prefix, each shard carries the paper's single-server ingest
+ceiling, and sweeps are written as one batch.  The default
+``shards=1`` *is* the paper's DB2 server — same capacity arithmetic,
+same query results — while ``shards=16`` sustains a full-Mira sweep at
+the 60 s minimum interval.  Queries return :class:`EnvRecord` rows (the
+legacy shape) adapted from the store's normalized
+:class:`~repro.store.Reading` records.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bgq.bpm import BulkPowerModule
 from repro.errors import ConfigError
 from repro.obs.instruments import ENVDB_POLLS, ENVDB_QUERY_ROWS, ENVDB_RECORDS, collector
 from repro.sim.events import EventQueue
 from repro.sim.hashrand import hash_normal
+from repro.store import Aggregate, Reading, ShardedStore, WriteBatcher
 
 _OBS = collector("envdb")
 _RECORD_COUNTERS = {}
@@ -38,35 +43,30 @@ DEFAULT_POLL_INTERVAL_S = 240.0
 #: DB2 server ingest ceiling, records/second — sized so that a full
 #: Mira (1,536 BPM sweeps x 4 tables) saturates the server below the
 #: 60 s minimum interval but runs comfortably at the ~4 minute default,
-#: the paper's capacity rationale.
+#: the paper's capacity rationale.  With sharding this is a *per-shard*
+#: ceiling; one shard reproduces the paper's single server.
 SERVER_CAPACITY_RECORDS_PER_S = 60.0
 
 
 @dataclass(frozen=True)
 class EnvRecord:
-    """One row: timestamp, location, measurement name -> value."""
+    """One row: timestamp, location, measurement name -> value.
+
+    Legacy adapter over :class:`repro.store.Reading` — the shape the
+    seed envdb exposed and the bgq tests still consume.
+    """
 
     timestamp: float
     location: str
     values: dict[str, float]
 
+    @classmethod
+    def from_reading(cls, reading: Reading) -> "EnvRecord":
+        return cls(reading.timestamp, reading.location, dict(reading.values))
 
-@dataclass
-class _Table:
-    records: list[EnvRecord] = field(default_factory=list)
-    times: list[float] = field(default_factory=list)
-
-    def insert(self, record: EnvRecord) -> None:
-        # Poller inserts in time order; keep the invariant explicit.
-        idx = bisect.bisect_right(self.times, record.timestamp)
-        self.times.insert(idx, record.timestamp)
-        self.records.insert(idx, record)
-
-    def query(self, t0: float, t1: float, location_prefix: str) -> list[EnvRecord]:
-        lo = bisect.bisect_left(self.times, t0)
-        hi = bisect.bisect_right(self.times, t1)
-        return [r for r in self.records[lo:hi]
-                if r.location.startswith(location_prefix)]
+    def to_reading(self) -> Reading:
+        return Reading(self.timestamp, self.location, "envdb",
+                       dict(self.values))
 
 
 class EnvironmentalDatabase:
@@ -78,12 +78,16 @@ class EnvironmentalDatabase:
         Event queue driving the poller.
     poll_interval_s:
         Must lie within the documented 60-1800 s range.
+    shards:
+        Independent stores the records shard across (by rack prefix).
+        1 — the default — models the paper's single DB2 server.
     """
 
     TABLES = ("bpm", "coolant", "temperature", "fan")
 
     def __init__(self, queue: EventQueue,
-                 poll_interval_s: float = DEFAULT_POLL_INTERVAL_S):
+                 poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+                 shards: int = 1):
         if not MIN_POLL_INTERVAL_S <= poll_interval_s <= MAX_POLL_INTERVAL_S:
             raise ConfigError(
                 f"poll interval {poll_interval_s} s outside the configurable "
@@ -91,7 +95,11 @@ class EnvironmentalDatabase:
             )
         self.queue = queue
         self.poll_interval_s = float(poll_interval_s)
-        self._tables: dict[str, _Table] = {name: _Table() for name in self.TABLES}
+        self.store = ShardedStore(
+            self.TABLES, n_shards=shards,
+            capacity_records_per_s=SERVER_CAPACITY_RECORDS_PER_S,
+        )
+        self._batcher = WriteBatcher(self.store)
         self._bpms: list[BulkPowerModule] = []
         self._polls = 0
         self._started = False
@@ -107,22 +115,41 @@ class EnvironmentalDatabase:
         coolant/temperature/fan rows each rack contributes."""
         return len(self._bpms) * 4  # bpm, coolant, temperature, fan rows
 
+    def _sweep_locations(self) -> list[str]:
+        """One location per record a sweep writes, in sweep order."""
+        out: list[str] = []
+        for bpm in self._bpms:
+            out.extend((bpm.location, bpm.node_board.location,
+                        bpm.node_board.location, bpm.location))
+        return out
+
     # -- capacity model --------------------------------------------------------
 
     def ingest_rate(self, poll_interval_s: float | None = None) -> float:
-        """Records/second the server must absorb at a given interval."""
+        """Records/second the whole fleet offers at a given interval."""
         interval = self.poll_interval_s if poll_interval_s is None else poll_interval_s
         return self.sensors_per_poll / interval
 
     def capacity_fraction(self, poll_interval_s: float | None = None) -> float:
-        """Fraction of the DB2 server's ingest ceiling consumed."""
-        return self.ingest_rate(poll_interval_s) / SERVER_CAPACITY_RECORDS_PER_S
+        """Fraction of the ingest ceiling the *hottest shard* consumes.
+
+        With one shard this is exactly the seed's single-server figure:
+        offered records / (interval x server capacity).
+        """
+        interval = self.poll_interval_s if poll_interval_s is None else poll_interval_s
+        return self.store.capacity_fraction(self._sweep_locations(), interval)
 
     def shortest_sustainable_interval(self) -> float:
-        """The fastest poll the server could sustain for this sensor
-        population (clamped into the configurable range)."""
-        raw = self.sensors_per_poll / SERVER_CAPACITY_RECORDS_PER_S
+        """The fastest poll the hottest shard could sustain for this
+        sensor population (clamped into the configurable range)."""
+        load = self.store.sweep_load(self._sweep_locations(), 1.0)
+        raw = max(load.values(), default=0.0)
         return min(max(raw, MIN_POLL_INTERVAL_S), MAX_POLL_INTERVAL_S)
+
+    @property
+    def dropped_records(self) -> int:
+        """Records lost to shard saturation since the poller started."""
+        return self.store.dropped_records
 
     # -- polling ---------------------------------------------------------------
 
@@ -143,25 +170,27 @@ class EnvironmentalDatabase:
             child.inc(len(self._bpms))
         for bpm in self._bpms:
             metered = bpm.metered(t)
-            self._tables["bpm"].insert(EnvRecord(t, bpm.location, metered))
+            self._batcher.add("bpm", Reading(t, bpm.location, "envdb", metered))
             # Ambient rows derived from the board's electrical state.
             out_w = metered["output_power_w"]
             idx = int(round(t))
             jitter = float(hash_normal(bpm.seed ^ 0xC0FFEE, idx))
-            self._tables["coolant"].insert(EnvRecord(
-                t, bpm.node_board.location,
+            self._batcher.add("coolant", Reading(
+                t, bpm.node_board.location, "envdb",
                 {"flow_lpm": 18.0 + 0.2 * jitter,
                  "pressure_kpa": 310.0 + 1.5 * jitter,
                  "inlet_c": 16.5 + 0.1 * jitter,
                  "outlet_c": 16.5 + out_w / 900.0},
             ))
-            self._tables["temperature"].insert(EnvRecord(
-                t, bpm.node_board.location,
+            self._batcher.add("temperature", Reading(
+                t, bpm.node_board.location, "envdb",
                 {"board_c": 24.0 + out_w / 250.0},
             ))
-            self._tables["fan"].insert(EnvRecord(
-                t, bpm.location, {"speed_rpm": 3600.0 + out_w / 4.0},
+            self._batcher.add("fan", Reading(
+                t, bpm.location, "envdb", {"speed_rpm": 3600.0 + out_w / 4.0},
             ))
+        if len(self._batcher):
+            self._batcher.flush(self.poll_interval_s)
         self.queue.schedule_in(self.poll_interval_s, self._sweep)
 
     @property
@@ -172,15 +201,25 @@ class EnvironmentalDatabase:
 
     def query(self, table: str, t0: float, t1: float,
               location_prefix: str = "") -> list[EnvRecord]:
-        """Range + location-prefix query over one table."""
-        if table not in self._tables:
-            raise ConfigError(f"no table {table!r}; have {list(self.TABLES)}")
-        if t1 < t0:
-            raise ConfigError(f"query window inverted: [{t0}, {t1}]")
-        records = self._tables[table].query(t0, t1, location_prefix)
+        """Range + location-prefix query over one table (legacy rows)."""
+        return [EnvRecord.from_reading(r)
+                for r in self.range_readings(table, t0, t1, location_prefix)]
+
+    def range_readings(self, table: str, t0: float, t1: float,
+                       location_prefix: str = "") -> list[Reading]:
+        """Range + location-prefix query, as normalized readings."""
+        readings = self.store.range(table, t0, t1, location_prefix)
         _OBS.count_query()
-        ENVDB_QUERY_ROWS.inc(len(records))
-        return records
+        ENVDB_QUERY_ROWS.inc(len(readings))
+        return readings
+
+    def aggregate(self, table: str, field: str, t0: float, t1: float,
+                  window_s: float, location_prefix: str = "") -> list[Aggregate]:
+        """Downsampled min/mean/max per location per window — the
+        cache-backed path figure pipelines use for repeated scans."""
+        _OBS.count_query()
+        return self.store.aggregate(table, field, t0, t1, window_s,
+                                    location_prefix)
 
     def bpm_input_power_series(self, location_prefix: str, t0: float,
                                t1: float) -> tuple[list[float], list[float]]:

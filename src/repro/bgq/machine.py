@@ -28,12 +28,13 @@ class BgqMachine:
 
     def __init__(self, racks: int = 1, rng: RngRegistry | None = None,
                  poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
-                 start_poller: bool = True):
+                 start_poller: bool = True, envdb_shards: int = 1):
         self.rng = rng if rng is not None else RngRegistry()
         self.clock = VirtualClock()
         self.events = EventQueue(self.clock)
         self.racks: list[Rack] = bgq_machine(racks, self.rng)
-        self.envdb = EnvironmentalDatabase(self.events, poll_interval_s)
+        self.envdb = EnvironmentalDatabase(self.events, poll_interval_s,
+                                           shards=envdb_shards)
         self._bpms: dict[str, BulkPowerModule] = {}
         self._emons: dict[str, EmonInterface] = {}
         for board in self.node_boards():

@@ -13,6 +13,7 @@ from __future__ import annotations
 import abc
 
 from repro.core.capability import PlatformCapabilities
+from repro.store.reading import Reading
 
 
 class Backend(abc.ABC):
@@ -43,6 +44,15 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def read_at(self, t: float) -> dict[str, float]:
         """Sample all fields at virtual time ``t`` (no clock movement)."""
+
+    def read_reading(self, t: float) -> Reading:
+        """Sample all fields at ``t`` as one normalized
+        :class:`~repro.store.Reading` — the shared record every vendor
+        read path produces, so stores and analysis never special-case
+        per-platform shapes.  The raw :meth:`read_at` mapping stays
+        available where legacy column dicts are expected."""
+        return Reading(timestamp=t, location=self.label,
+                       mechanism=self.mechanism, values=self.read_at(t))
 
     @abc.abstractmethod
     def capabilities(self) -> PlatformCapabilities:

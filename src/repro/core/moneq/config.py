@@ -52,3 +52,28 @@ class MoneqConfig:
         """Buffer footprint: timestamp + fields, 8 bytes each — the
         'essentially constant with respect to scale' memory overhead."""
         return self.buffer_slots * 8 * (field_count + 1)
+
+    def resolve_interval(self, backends) -> float:
+        """Validate the requested interval against every backend's
+        hardware minimum, at session construction.
+
+        Returns the effective interval: the hardware floor (the slowest
+        backend's minimum governs a mixed-device session) when no
+        explicit interval was requested.  An explicit interval below any
+        backend's minimum raises :class:`ConfigError` naming the
+        offending backend — sessions never clamp silently or fail
+        mid-run.
+        """
+        if not backends:
+            raise ConfigError("cannot resolve an interval for zero backends")
+        worst = max(backends, key=lambda b: b.min_interval_s)
+        floor = worst.min_interval_s
+        if self.polling_interval_s is None:
+            return floor
+        if self.polling_interval_s < floor:
+            raise ConfigError(
+                f"polling interval {self.polling_interval_s} s below the "
+                f"{floor} s hardware minimum of backend {worst.label!r} "
+                f"({worst.platform}, mechanism {worst.mechanism!r})"
+            )
+        return self.polling_interval_s

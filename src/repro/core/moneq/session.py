@@ -27,6 +27,7 @@ from repro.core.moneq.overhead import (
 from repro.core.moneq.tags import TagSet
 from repro.errors import ConfigError, MoneqBufferFullError, MoneqStateError
 from repro.host.process import Process
+from repro.host.vfs import VirtualFileSystem
 from repro.obs.instruments import (
     MONEQ_BUFFER_FILL,
     MONEQ_BUFFER_FULL,
@@ -38,7 +39,6 @@ from repro.obs.instruments import (
     collector,
 )
 from repro.obs.tracing import get_tracer
-from repro.host.vfs import VirtualFileSystem
 from repro.sim.events import EventQueue
 from repro.sim.timers import PeriodicTimer
 from repro.sim.trace import TraceSeries, TraceSet
@@ -124,17 +124,10 @@ class MoneqSession:
             raise ConfigError("processes must align 1:1 with backends")
 
         # "The lowest polling interval possible for the given hardware":
-        # the slowest backend minimum governs a mixed-device session.
-        hardware_floor = max(b.min_interval_s for b in backends)
-        if self.config.polling_interval_s is None:
-            self.interval_s = hardware_floor
-        elif self.config.polling_interval_s < hardware_floor:
-            raise ConfigError(
-                f"polling interval {self.config.polling_interval_s} s below the "
-                f"hardware minimum {hardware_floor} s"
-            )
-        else:
-            self.interval_s = self.config.polling_interval_s
+        # the slowest backend minimum governs a mixed-device session,
+        # and a too-fast explicit request fails here, naming the
+        # offending backend, not mid-run.
+        self.interval_s = self.config.resolve_interval(backends)
 
         self.agents: list[_Agent] = []
         labels_seen: set[str] = set()
@@ -170,8 +163,8 @@ class MoneqSession:
         tick_cost = 0.0
         max_fill = 0.0
         for agent in self.agents:
-            row = agent.backend.read_at(t)
-            agent.append(t, row)
+            reading = agent.backend.read_reading(t)
+            agent.append(reading.timestamp, reading.values)
             cost = agent.backend.query_latency_s
             if agent.process is not None and agent.process.alive:
                 agent.process.charge(cost)

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.analysis.compare import IdleVisibility, idle_visibility
+from repro.analysis.compare import (
+    IdleVisibility,
+    idle_visibility,
+    series_from_readings,
+)
 from repro.bgq.machine import BgqMachine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceSeries
@@ -44,9 +46,9 @@ def run(seed: int = 0xF161, poll_interval_s: float = 240.0) -> Fig1Result:
     machine.run_job(MmpsWorkload(duration=JOB_DURATION_S), node_count=32,
                     t_start=JOB_START_S)
     machine.advance_to(WINDOW_S)
-    times, watts = machine.envdb.bpm_input_power_series(BOARD, 0.0, WINDOW_S)
-    series = TraceSeries(np.asarray(times), np.asarray(watts),
-                         name="bpm_input_power", units="W")
+    readings = machine.envdb.range_readings("bpm", 0.0, WINDOW_S, BOARD)
+    series = series_from_readings(readings, "input_power_w",
+                                  name="bpm_input_power", units="W")
     return Fig1Result(
         series=series,
         idle=idle_visibility(series),

@@ -4,6 +4,10 @@ Provides the machine-room scaffolding for the scale experiments: the
 Stampede slice used for Figure 8 (Dell PowerEdge nodes, 2x Sandy Bridge
 Xeons + 1 Xeon Phi each) and generic homogeneous clusters.  All nodes of
 a cluster share one virtual clock so cross-node sums are well-defined.
+
+A cluster can also carry a :class:`repro.store.ShardedStore` (attach via
+:meth:`Cluster.attach_store`) as the fleet-wide sink for normalized
+:class:`repro.store.Reading` records, sharded by hostname.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from repro.errors import ConfigError
 from repro.host.node import Node
 from repro.sim.clock import VirtualClock
 from repro.sim.rng import RngRegistry
+from repro.store import FlushReport, Reading, ShardedStore, WriteBatcher
 
 
 class Cluster:
@@ -25,6 +30,7 @@ class Cluster:
         self.rng = rng if rng is not None else RngRegistry()
         self.clock = clock if clock is not None else VirtualClock()
         self._nodes: list[Node] = []
+        self._store: ShardedStore | None = None
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -63,6 +69,45 @@ class Cluster:
             self._nodes.append(node)
             created.append(node)
         return created
+
+    # -- fleet monitoring store -------------------------------------------------
+
+    def attach_store(self, store: ShardedStore | None = None,
+                     tables: tuple[str, ...] = ("readings",),
+                     n_shards: int = 1,
+                     capacity_records_per_s: float | None = None) -> ShardedStore:
+        """Attach (or build) the cluster's sharded monitoring store.
+
+        Nodes shard by full hostname (``depth=2`` covers the
+        ``name-0001`` convention), spreading the fleet evenly; queries
+        for any hostname prefix merge across shards deterministically.
+        """
+        if self._store is not None:
+            raise ConfigError(f"cluster {self.name!r} already has a store")
+        if store is None:
+            store = ShardedStore(
+                tables, n_shards=n_shards,
+                capacity_records_per_s=capacity_records_per_s, shard_depth=2,
+            )
+        self._store = store
+        return store
+
+    @property
+    def store(self) -> ShardedStore:
+        """The attached monitoring store; :meth:`attach_store` first."""
+        if self._store is None:
+            raise ConfigError(
+                f"cluster {self.name!r} has no store; call attach_store()"
+            )
+        return self._store
+
+    def record_readings(self, table: str, readings: list[Reading],
+                        interval_s: float) -> FlushReport:
+        """Batch one collection sweep's readings into the store."""
+        batcher = WriteBatcher(self.store)
+        for reading in readings:
+            batcher.add(table, reading)
+        return batcher.flush(interval_s)
 
     def devices(self, kind: str) -> list[object]:
         """All devices of a kind across the cluster, node order."""

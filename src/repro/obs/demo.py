@@ -96,9 +96,29 @@ def exercise_phi(seed: int = 0x9A1, reads: int = 4) -> dict[str, float]:
     return {"reads": 3 * reads, "last_card_w": card_w}
 
 
+def exercise_store(seed: int = 0x5708E, racks: int = 1,
+                   shards: int = 2) -> dict[str, float]:
+    """Sharded-store ingest + every query kind on a small BG/Q rig."""
+    from repro.bgq.machine import BgqMachine
+    from repro.sim.rng import RngRegistry
+
+    machine = BgqMachine(racks=racks, rng=RngRegistry(seed),
+                         poll_interval_s=240.0, envdb_shards=shards)
+    machine.advance_to(240.0 * 4)
+    store = machine.envdb.store
+    rows = store.range("bpm", 0.0, 960.0)
+    store.latest("bpm")
+    aggs = machine.envdb.aggregate("bpm", "input_power_w", 0.0, 960.0, 480.0)
+    machine.envdb.aggregate("bpm", "input_power_w", 0.0, 960.0, 480.0)
+    return {"records": store.records_ingested, "rows": len(rows),
+            "aggregates": float(len(aggs)),
+            "dropped": store.dropped_records}
+
+
 #: Target name -> exercise, in dump order.
 EXERCISES = {
     "fig1": exercise_fig1,
+    "store": exercise_store,
     "emon": exercise_emon,
     "rapl": exercise_rapl,
     "nvml": exercise_nvml,

@@ -89,6 +89,50 @@ ENVDB_QUERY_ROWS = _REGISTRY.counter(
     "Rows returned by environmental-database range queries",
 )
 
+# -- Sharded store ----------------------------------------------------------
+
+STORE_BATCHES = _REGISTRY.counter(
+    "repro_store_batches_total",
+    "Write batches flushed into the sharded store",
+)
+STORE_BATCH_RECORDS = _REGISTRY.histogram(
+    "repro_store_batch_records",
+    "Records per flushed write batch",
+    buckets=(1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0),
+)
+STORE_RECORDS = _REGISTRY.counter(
+    "repro_store_records_total",
+    "Records accepted by the sharded store, by shard",
+    labels=("shard",),
+)
+STORE_DROPPED = _REGISTRY.counter(
+    "repro_store_dropped_records_total",
+    "Records dropped because a shard's per-sweep ingest budget was "
+    "exhausted, accounted to the saturated shard",
+    labels=("shard",),
+)
+STORE_QUERIES = _REGISTRY.counter(
+    "repro_store_queries_total",
+    "Queries served by the sharded store, by kind",
+    labels=("kind",),
+)
+STORE_QUERY_ROWS = _REGISTRY.counter(
+    "repro_store_query_rows_total",
+    "Rows (records or aggregate windows) returned by store queries",
+)
+STORE_CACHE_HITS = _REGISTRY.counter(
+    "repro_store_cache_hits_total",
+    "Aggregate-cache lookups served from cached windows",
+)
+STORE_CACHE_MISSES = _REGISTRY.counter(
+    "repro_store_cache_misses_total",
+    "Aggregate-cache lookups that rebuilt a shard's windows",
+)
+STORE_CACHE_INVALIDATIONS = _REGISTRY.counter(
+    "repro_store_cache_invalidations_total",
+    "Aggregate-cache entries invalidated by ingest",
+)
+
 # -- SCIF ------------------------------------------------------------------
 
 SCIF_MESSAGES = _REGISTRY.counter(

@@ -1,0 +1,46 @@
+"""``repro.store`` — the sharded, write-batched time-series data plane.
+
+The paper's BG/Q finding is that the environmental database is
+capacity-bound by a single server (§II-A).  This package is the
+fleet-scale answer while keeping the paper's semantics: records shard
+by location prefix across N independent stores, each carrying the
+single-server ingest ceiling (``n_shards=1`` *is* the paper's server),
+writes batch per polling sweep, and a downsampled-aggregate cache makes
+repeated range queries O(windows) instead of O(records).
+
+* :mod:`repro.store.reading` — the shared :class:`Reading` record all
+  vendor read paths normalize to;
+* :mod:`repro.store.shards` — deterministic location-prefix sharding;
+* :mod:`repro.store.batcher` — per-sweep write batching;
+* :mod:`repro.store.aggregate` — the per-shard min/mean/max window cache;
+* :mod:`repro.store.planner` — shard routing + cache-use planning;
+* :mod:`repro.store.engine` — :class:`ShardedStore` with the
+  ``range`` / ``prefix`` / ``aggregate`` / ``latest`` query API.
+
+:mod:`repro.bgq.envdb` routes its storage through this package; the
+``repro store bench`` CLI subcommand exercises it end to end.
+"""
+
+from __future__ import annotations
+
+from repro.store.aggregate import Aggregate, AggregateCache, window_index
+from repro.store.batcher import WriteBatcher
+from repro.store.engine import FlushReport, ShardedStore
+from repro.store.planner import QUERY_KINDS, QueryPlan, plan_query
+from repro.store.reading import Reading
+from repro.store.shards import ShardMap, shard_key
+
+__all__ = [
+    "Aggregate",
+    "AggregateCache",
+    "FlushReport",
+    "QUERY_KINDS",
+    "QueryPlan",
+    "Reading",
+    "ShardMap",
+    "ShardedStore",
+    "WriteBatcher",
+    "plan_query",
+    "shard_key",
+    "window_index",
+]

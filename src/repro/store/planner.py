@@ -1,0 +1,53 @@
+"""Query planning for the sharded store.
+
+A plan answers two questions before any shard is touched: *which
+shards* must participate (from the location prefix and the shard map)
+and *whether the aggregate cache applies* (only ``aggregate`` queries
+read downsampled windows; raw queries always scan the sorted record
+lists).  Plans are cheap value objects — the CLI prints them, tests
+assert on them, and the engine executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.store.shards import ShardMap
+
+#: Query kinds the engine executes.
+QUERY_KINDS = ("range", "prefix", "aggregate", "latest")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable description of one store query."""
+
+    kind: str
+    table: str
+    shards: tuple[int, ...]
+    location_prefix: str
+    uses_cache: bool
+
+    @property
+    def fan_out(self) -> int:
+        """How many shards the query touches."""
+        return len(self.shards)
+
+
+def plan_query(kind: str, table: str, shard_map: ShardMap,
+               location_prefix: str = "") -> QueryPlan:
+    """Build the plan for one query.
+
+    A prefix that pins the shard key routes to a single shard; anything
+    looser fans out to every shard and merges.
+    """
+    if kind not in QUERY_KINDS:
+        raise ConfigError(f"unknown query kind {kind!r}; have {QUERY_KINDS}")
+    return QueryPlan(
+        kind=kind,
+        table=table,
+        shards=tuple(shard_map.shards_for_prefix(location_prefix)),
+        location_prefix=location_prefix,
+        uses_cache=kind == "aggregate",
+    )

@@ -23,6 +23,15 @@ EXPECTED_FAMILIES = (
     "repro_envdb_polls_total",
     "repro_envdb_records_total",
     "repro_envdb_query_rows_total",
+    "repro_store_batches_total",
+    "repro_store_batch_records",
+    "repro_store_records_total",
+    "repro_store_dropped_records_total",
+    "repro_store_queries_total",
+    "repro_store_query_rows_total",
+    "repro_store_cache_hits_total",
+    "repro_store_cache_misses_total",
+    "repro_store_cache_invalidations_total",
     "repro_scif_messages_total",
     "repro_scif_bytes_total",
     "repro_moneq_sessions_started_total",
@@ -52,8 +61,9 @@ def test_instrumented_run_emits_all_expected_families():
         total = sum(COLLECTOR_QUERIES.value(m) for m in mechanisms)
         assert total > 0, f"no queries recorded for vendor {vendor}"
 
-    # The BG/Q pipeline polled its environmental database.
-    assert "repro_envdb_polls_total 11" in text
+    # The BG/Q pipelines polled their environmental databases:
+    # 11 sweeps in the fig1 exercise + 4 in the store exercise.
+    assert "repro_envdb_polls_total 15" in text
 
 
 @pytest.mark.tier1

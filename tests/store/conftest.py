@@ -1,0 +1,14 @@
+"""Store test fixtures: zeroed metric globals around every test."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+    obs.set_enabled(True)

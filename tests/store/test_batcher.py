@@ -1,0 +1,43 @@
+"""Per-sweep write batching."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.instruments import STORE_BATCH_RECORDS, STORE_BATCHES
+from repro.store import Reading, ShardedStore, WriteBatcher
+
+
+def _reading(t):
+    return Reading(t, "R00-M0-N00", "envdb", {"input_power_w": 1.0})
+
+
+class TestWriteBatcher:
+    def test_stages_then_flushes_as_one_batch(self):
+        store = ShardedStore(("bpm",))
+        batcher = WriteBatcher(store)
+        for i in range(5):
+            batcher.add("bpm", _reading(float(i)))
+        assert len(batcher) == 5
+        assert store.records_ingested == 0  # nothing until flush
+
+        report = batcher.flush(interval_s=60.0)
+        assert report.offered == report.accepted == 5
+        assert store.records_ingested == 5
+        assert len(batcher) == 0  # reusable after flush
+        assert STORE_BATCHES.value() == 1.0
+        sizes = STORE_BATCH_RECORDS.child()
+        assert (sizes.count, sizes.sum) == (1, 5.0)
+
+    def test_empty_flush_is_an_error(self):
+        batcher = WriteBatcher(ShardedStore(("bpm",)))
+        with pytest.raises(ConfigError, match="empty write batch"):
+            batcher.flush(interval_s=60.0)
+
+    def test_capacity_applies_at_flush(self):
+        store = ShardedStore(("bpm",), capacity_records_per_s=1.0)
+        batcher = WriteBatcher(store)
+        for i in range(5):
+            batcher.add("bpm", _reading(float(i)))
+        report = batcher.flush(interval_s=2.0)
+        assert report.accepted == 2
+        assert report.dropped == 3

@@ -1,0 +1,31 @@
+"""The shared normalized sensor record."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.store import Reading
+
+
+class TestReading:
+    def test_requires_location_and_mechanism(self):
+        with pytest.raises(ConfigError, match="location"):
+            Reading(0.0, "", "envdb", {})
+        with pytest.raises(ConfigError, match="mechanism"):
+            Reading(0.0, "R00-M0-N00", "", {})
+
+    def test_value_lookup_names_missing_field(self):
+        reading = Reading(1.0, "R00-M0-N00", "envdb", {"input_power_w": 2.5})
+        assert reading.value("input_power_w") == 2.5
+        with pytest.raises(ConfigError, match=r"no field 'output_power_w'"):
+            reading.value("output_power_w")
+
+    def test_with_values_copies(self):
+        reading = Reading(1.0, "R00-M0-N00", "envdb", {"a": 1.0})
+        extended = reading.with_values(b=2.0, a=3.0)
+        assert extended.values == {"a": 3.0, "b": 2.0}
+        assert reading.values == {"a": 1.0}  # original untouched
+        assert extended.location == reading.location
+
+    def test_equality_is_by_value(self):
+        assert Reading(1.0, "R00", "envdb", {"a": 1.0}) == \
+            Reading(1.0, "R00", "envdb", {"a": 1.0})

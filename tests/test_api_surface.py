@@ -1,0 +1,65 @@
+"""Tier-1 smoke tests of the versioned ``repro.api`` surface.
+
+Every supported name must import, resolve, and be documented in
+``docs/api.md`` — the compatibility policy is only worth something if
+the reference stays complete.  The ruff gate rides along, skipped
+where the linter isn't installed.
+"""
+
+import importlib
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+import repro.api as api
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "api.md"
+
+
+@pytest.mark.tier1
+def test_all_names_resolve():
+    assert api.__all__, "repro.api must export a surface"
+    for name in api.__all__:
+        assert hasattr(api, name), f"repro.api.__all__ lists {name}"
+        assert getattr(api, name) is not None
+
+
+@pytest.mark.tier1
+def test_no_duplicate_exports():
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+@pytest.mark.tier1
+def test_surface_is_importable_fresh():
+    module = importlib.import_module("repro.api")
+    assert module.API_VERSION == "1"
+    assert module.__version__.count(".") == 2
+
+
+@pytest.mark.tier1
+def test_every_export_documented_in_api_md():
+    assert API_DOC.is_file(), "docs/api.md missing"
+    text = API_DOC.read_text(encoding="utf-8")
+    undocumented = [name for name in api.__all__ if name not in text]
+    assert not undocumented, (
+        f"docs/api.md does not mention: {undocumented}"
+    )
+
+
+@pytest.mark.tier1
+def test_policy_documented():
+    assert "Compatibility policy" in api.__doc__
+    assert "Compatibility policy" in API_DOC.read_text(encoding="utf-8")
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed in this environment")
+def test_repo_is_ruff_clean():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -13,7 +13,7 @@ PACKAGES = [
     "repro", "repro.sim", "repro.host", "repro.runtime", "repro.workloads",
     "repro.bgq", "repro.rapl", "repro.nvml", "repro.xeonphi", "repro.core",
     "repro.core.moneq", "repro.baselines", "repro.analysis",
-    "repro.experiments", "repro.scheduling", "repro.devices",
+    "repro.experiments", "repro.scheduling", "repro.devices", "repro.store",
 ]
 
 
