@@ -9,6 +9,9 @@
     python -m repro obs dump [target..] # run exercises, dump metrics+spans
     python -m repro store bench [racks [shards [interval_s]]]
                                         # exercise the sharded envdb store
+    python -m repro bench perf [json_path]
+                                        # wall-clock hot-path benches ->
+                                        # BENCH_moneq.json perf baseline
 """
 
 from __future__ import annotations
@@ -117,6 +120,39 @@ def _store_command(args: list[str]) -> int:
     return 0
 
 
+def _bench_command(args: list[str]) -> int:
+    """``repro bench perf [json_path]`` — run the hot-path wall-clock
+    benches (block-sampling engine, heap scheduler, full session) and
+    write the trajectory file future PRs regress against."""
+    from repro import perfbench
+    from repro.analysis.tables import format_table
+
+    if not args or args[0] != "perf":
+        print("usage: python -m repro bench perf [json_path]", file=sys.stderr)
+        return 2
+    json_path = args[1] if len(args) > 1 else "BENCH_moneq.json"
+
+    results = perfbench.run(json_path)
+    rows = []
+    for name, r in results.items():
+        detail = ", ".join(
+            f"{k}={v:g}" if isinstance(v, (int, float)) else f"{k}={v}"
+            for k, v in r.items()
+            if k not in ("wall_s", "speedup_vs_scalar")
+        )
+        rows.append((name, f"{r['wall_s'] * 1e3:.1f} ms",
+                     f"{r['speedup_vs_scalar']:.1f}x", detail))
+    print(format_table(
+        ("bench", "wall", "vs scalar", "detail"), rows,
+        title=f"[repro bench perf] wrote {json_path}",
+    ))
+    if not results["moneq_block"]["byte_identical"]:
+        print("FAIL: block-sampled output diverged from scalar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if not args or args[0] in ("-h", "--help", "help"):
@@ -131,6 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         return _obs_command(args[1:])
     if command == "store":
         return _store_command(args[1:])
+    if command == "bench":
+        return _bench_command(args[1:])
     if command == "report":
         report_module.main()
         return 0

@@ -32,6 +32,7 @@ from repro.core.moneq.api import (
     initialize,
     profile_run,
 )
+from repro.core.moneq.backend import Backend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqResult, MoneqSession
 from repro.errors import (
@@ -62,6 +63,7 @@ __all__ = [
     "finalize",
     "profile_run",
     "backends_for_node",
+    "Backend",
     "MoneqConfig",
     "MoneqSession",
     "MoneqResult",

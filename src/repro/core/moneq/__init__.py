@@ -20,9 +20,11 @@ from repro.core.moneq.backend import Backend
 from repro.core.moneq.backends import (
     BgqEmonBackend,
     NvmlBackend,
+    PhiIpmbBackend,
     PhiMicrasBackend,
     PhiSysMgmtBackend,
     RaplMsrBackend,
+    RaplPerfBackend,
     RaplPowercapBackend,
 )
 from repro.core.moneq.overhead import OverheadReport
@@ -34,10 +36,12 @@ __all__ = [
     "Backend",
     "BgqEmonBackend",
     "RaplMsrBackend",
+    "RaplPerfBackend",
     "RaplPowercapBackend",
     "NvmlBackend",
     "PhiSysMgmtBackend",
     "PhiMicrasBackend",
+    "PhiIpmbBackend",
     "MoneqSession",
     "MoneqResult",
     "OverheadReport",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.core.capability import PlatformCapabilities
 from repro.store.reading import Reading
 
@@ -53,6 +55,27 @@ class Backend(abc.ABC):
         available where legacy column dicts are expected."""
         return Reading(timestamp=t, location=self.label,
                        mechanism=self.mechanism, values=self.read_at(t))
+
+    def read_block(self, times: np.ndarray) -> np.ndarray:
+        """Sample all fields at each time in ``times`` (no clock
+        movement): row ``i`` of the returned structured array holds the
+        columns of :meth:`fields` at ``times[i]``.
+
+        The base implementation is a scalar loop over :meth:`read_at`
+        (correct for any backend, including stateful ones — reads stay
+        in time order).  Vendor backends override it with a vectorized
+        path that must be **bit-identical** to the loop: the MonEQ
+        block-sampling engine leans on that equality to keep output
+        files byte-identical to scalar ticking.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        out = np.zeros(times.shape[0],
+                       dtype=[(name, "f8") for name in self.fields()])
+        for i in range(times.shape[0]):
+            row = self.read_at(float(times[i]))
+            for name, value in row.items():
+                out[i][name] = value
+        return out
 
     @abc.abstractmethod
     def capabilities(self) -> PlatformCapabilities:

@@ -31,12 +31,19 @@ class MoneqConfig:
         Directory (in the node's VFS) for per-agent output files.
     tagging_enabled:
         Whether start/end tag calls are honored.
+    block_ticks:
+        Lookahead span of the columnar block-sampling engine: how many
+        timer ticks the session may plan and collect in one slab before
+        re-checking the event queue.  ``1`` disables block sampling and
+        falls back to scalar per-tick collection.  Output is
+        byte-identical either way; only the constant factor changes.
     """
 
     polling_interval_s: float | None = None
     buffer_slots: int = 262_144
     output_dir: str = "/moneq"
     tagging_enabled: bool = True
+    block_ticks: int = 4096
 
     def __post_init__(self):
         if self.polling_interval_s is not None and self.polling_interval_s <= 0.0:
@@ -45,6 +52,11 @@ class MoneqConfig:
             )
         if self.buffer_slots <= 0:
             raise ConfigError(f"buffer_slots must be positive, got {self.buffer_slots}")
+        if self.block_ticks < 1:
+            raise ConfigError(
+                f"block_ticks must be >= 1 (1 disables block sampling), "
+                f"got {self.block_ticks}"
+            )
         if not self.output_dir.startswith("/"):
             raise ConfigError(f"output_dir must be absolute, got {self.output_dir!r}")
 

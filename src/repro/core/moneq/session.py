@@ -8,6 +8,21 @@ at the tick time, each agent's process is charged its own query cost,
 and the shared clock advances by the *maximum* agent cost (the slowest
 node gates the tick, everyone else overlaps).  That is why Table III's
 collection time is identical at 32, 512 and 1024 nodes.
+
+Block sampling
+--------------
+Because every tick costs the same constant clock advance, the whole tick
+grid between two intervening events is known the moment the first tick
+fires.  When the driving :meth:`~repro.sim.events.EventQueue.run_until`
+exposes its horizon, the session plans up to ``config.block_ticks``
+deadlines ahead (:meth:`~repro.sim.timers.PeriodicTimer.plan_block`),
+samples each backend once over the whole grid with a vectorized
+:meth:`~repro.core.moneq.backend.Backend.read_block`, and fills agent
+buffers by column-slab assignment.  The block stops strictly before the
+next foreign event, at the horizon, and at remaining buffer capacity, so
+clock advancement, tag boundaries, buffer-full errors and output files
+stay **byte-identical** to scalar ticking — the parity property tests
+pin this down.
 """
 
 from __future__ import annotations
@@ -68,6 +83,16 @@ class _Agent:
         for name, value in row.items():
             record[name] = value
         self.count += 1
+
+    def extend_block(self, times: np.ndarray, block: np.ndarray) -> None:
+        """Slab-append one block: row ``i`` gets ``times[i]`` plus
+        ``block``'s columns.  The caller guarantees capacity."""
+        n = times.shape[0]
+        rows = self.records[self.count:self.count + n]
+        rows["time_s"] = times
+        for name in block.dtype.names:
+            rows[name] = block[name]
+        self.count += n
 
     def filled(self) -> np.ndarray:
         return self.records[: self.count]
@@ -143,6 +168,11 @@ class MoneqSession:
                 instrument=collector(backend.mechanism),
             ))
 
+        # Every tick advances the clock by the same constant — the
+        # slowest agent's query cost — which is what makes the tick grid
+        # plannable ahead of time.
+        self._tick_cost = max(a.backend.query_latency_s for a in self.agents)
+
         self.tags = TagSet()
         self._finalized = False
         MONEQ_SESSIONS_STARTED.inc()
@@ -160,6 +190,27 @@ class MoneqSession:
     # -- collection ------------------------------------------------------------
 
     def _on_tick(self, t: float, index: int) -> None:
+        horizon = self.queue.horizon
+        if self.config.block_ticks > 1 and horizon is not None:
+            # How far can we look ahead?  Strictly before the next
+            # foreign event (it must keep its place in the event order),
+            # within the run_until bound, and within buffer capacity —
+            # a full buffer falls through to the scalar path so the
+            # error surfaces exactly where scalar ticking raises it.
+            capacity = min(len(a.records) - a.count for a in self.agents)
+            if capacity > 0:
+                times, k_last, coalesced = self._timer.plan_block(
+                    self._tick_cost, self.queue.peek_time(), horizon,
+                    min(self.config.block_ticks, capacity),
+                )
+                if len(times) > 1:
+                    self._collect_block(np.asarray(times, dtype=np.float64))
+                    self._timer.commit_block(len(times), k_last, coalesced)
+                    return
+        self._collect_tick(t)
+
+    def _collect_tick(self, t: float) -> None:
+        """One scalar tick: the reference path block sampling must match."""
         tick_cost = 0.0
         max_fill = 0.0
         for agent in self.agents:
@@ -168,7 +219,8 @@ class MoneqSession:
             cost = agent.backend.query_latency_s
             if agent.process is not None and agent.process.alive:
                 agent.process.charge(cost)
-            agent.instrument.record_query(cost)
+            if agent.instrument is not None:
+                agent.instrument.record_query(cost)
             fill = agent.count / len(agent.records)
             if fill > max_fill:
                 max_fill = fill
@@ -178,6 +230,30 @@ class MoneqSession:
         MONEQ_BUFFER_FILL.set(max_fill)
         # Agents overlap across nodes; the slowest gates the tick.
         self.queue.clock.advance(tick_cost)
+
+    def _collect_block(self, times: np.ndarray) -> None:
+        """Collect a planned grid of ticks in one columnar pass."""
+        n = times.shape[0]
+        max_fill = 0.0
+        for agent in self.agents:
+            agent.extend_block(times, agent.backend.read_block(times))
+            cost = agent.backend.query_latency_s
+            if agent.process is not None and agent.process.alive:
+                # cpu_seconds accumulation only; per-tick granularity
+                # is not observable in any output.
+                agent.process.charge(cost * n)
+            if agent.instrument is not None:
+                agent.instrument.record_query(cost, n)
+            fill = agent.count / len(agent.records)
+            if fill > max_fill:
+                max_fill = fill
+        MONEQ_TICKS.inc(n)
+        MONEQ_RECORDS.inc(len(self.agents) * n)
+        MONEQ_BUFFER_FILL.set(max_fill)
+        # Land exactly where n scalar ticks would have left the clock:
+        # at the last deadline plus one tick cost.
+        self.queue.clock.advance_to(float(times[-1]))
+        self.queue.clock.advance(self._tick_cost)
 
     @property
     def ticks(self) -> int:

@@ -140,6 +140,7 @@ class ThermalModel:
         self.r = float(r_c_per_w)
         self.c = float(c_j_per_c)
         self.dt = float(dt)
+        self._grid_n = 0
         self._times = np.zeros(1)
         self._temps = np.array([ambient_c + self._steady_delta(0.0)])
 
@@ -151,7 +152,12 @@ class ThermalModel:
     def _extend(self, t_end: float) -> None:
         target = max(t_end * 1.1, self._times[-1] + 16 * self.dt)
         n_new = int(np.ceil((target - self._times[-1]) / self.dt))
-        new_times = self._times[-1] + self.dt * np.arange(1, n_new + 1)
+        # Index-based grid points (dt * k), like CumulativeIntegral: the
+        # cached temperature history is bit-identical regardless of how
+        # reads were chunked (scalar ticks vs one block read).
+        new_times = self.dt * np.arange(
+            self._grid_n + 1, self._grid_n + n_new + 1
+        ).astype(np.float64)
         powers = self.power.value(new_times)
         temps = np.empty(n_new)
         temp = self._temps[-1]
@@ -163,6 +169,7 @@ class ThermalModel:
             temps[i] = temp
         self._times = np.concatenate((self._times, new_times))
         self._temps = np.concatenate((self._temps, temps))
+        self._grid_n += n_new
 
     def temperature(self, t: np.ndarray | float) -> np.ndarray:
         """Temperature in Celsius at time(s) ``t``."""

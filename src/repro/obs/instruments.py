@@ -212,9 +212,12 @@ class CollectorInstrument:
         self._latency = COLLECTOR_LATENCY.labels(mechanism)
 
     def record_query(self, seconds: float, count: int = 1) -> None:
+        """Record ``count`` queries of ``seconds`` charged latency *each*
+        — the block-sampling engine batches a whole slab of identical
+        ticks into one call."""
         self._queries.inc(count)
-        self._seconds.inc(seconds)
-        self._latency.observe(seconds)
+        self._seconds.inc(seconds * count)
+        self._latency.observe(seconds, count)
 
     def count_query(self, count: int = 1) -> None:
         self._queries.inc(count)

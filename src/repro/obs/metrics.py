@@ -269,12 +269,14 @@ class _HistogramChild:
         self.sum = 0.0
         self.count = 0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (a batch of
+        identical samples costs one bucket update, not ``count``)."""
         if not self._family.enabled:
             return
-        self.counts[bisect_left(self._family.uppers, value)] += 1
-        self.sum += value
-        self.count += 1
+        self.counts[bisect_left(self._family.uppers, value)] += count
+        self.sum += value * count
+        self.count += count
 
     def cumulative_counts(self) -> list[int]:
         """Per-bucket cumulative counts, ending in the total count."""
@@ -323,8 +325,8 @@ class Histogram(MetricFamily):
     def _new_child(self) -> _HistogramChild:
         return _HistogramChild(self)
 
-    def observe(self, value: float) -> None:
-        self._require_unlabeled().observe(value)
+    def observe(self, value: float, count: int = 1) -> None:
+        self._require_unlabeled().observe(value, count)
 
     def child(self, *label_values) -> _HistogramChild | None:
         if not label_values and self._default is not None:

@@ -145,6 +145,12 @@ class CpuPackage:
         """32-bit energy-status counter contents at virtual time ``t``."""
         return self._counters[domain].raw(t)
 
+    def energy_raw_block(self, domain: RaplDomain, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`energy_raw`: counter contents at each time
+        in ``times`` as an int64 array, bit-identical to a scalar read
+        loop (the MonEQ block-sampling engine depends on that)."""
+        return self._counters[domain].raw_block(times)
+
     def energy_joules_between(self, domain: RaplDomain, t0: float, t1: float) -> float:
         """Single-wrap-corrected energy between two reads (what every
         RAPL consumer computes); wrong if more than one wrap elapsed."""
@@ -280,6 +286,27 @@ class _JitteredCounter:
 
     def raw(self, t: float) -> int:
         return self._quanta(t) % self.modulus
+
+    def raw_block(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`raw` over a time grid.
+
+        Every step mirrors the scalar path elementwise — same jitter
+        hashes, same clamped update instants, same grid interpolation,
+        same quantization — so the results are bit-identical to a loop
+        of scalar reads.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if np.any(times < 0.0):
+            raise SensorError("cannot read counter before t=0")
+        k = np.floor(times / self.update_interval).astype(np.int64)
+        jitter = self._hash_normal(self.seed, k) * (self.jitter_s / 2.0)
+        update_t = np.minimum(
+            np.maximum(k * self.update_interval + jitter, 0.0), times
+        )
+        update_t = np.where(k <= 0, 0.0, update_t)
+        energy = self._integral.value(update_t)
+        quanta = np.floor(energy / self.units.energy_j + 1e-9).astype(np.int64)
+        return quanta % self.modulus
 
     def delta(self, t0: float, t1: float) -> float:
         """Single-wrap-corrected delta, as every RAPL consumer decodes it.

@@ -15,6 +15,8 @@ syscall-dominated 0.10 ms and flag it as an assumption in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import KernelTooOldError
 from repro.host.node import Node
 from repro.host.process import Process
@@ -67,16 +69,33 @@ class PerfEventRapl:
         Charges the modeled syscall latency to the clock (and the
         attached process), then converts the hardware counter.
         """
-        domain = PERF_RAPL_EVENTS.get(event)
-        if domain is None:
+        if event not in PERF_RAPL_EVENTS:
             raise KeyError(f"unknown perf event {event!r}")
         self.node.clock.advance(PERF_READ_LATENCY_S)
         if self.process is not None and self.process.alive:
             self.process.charge(PERF_READ_LATENCY_S)
         _OBS.record_query(PERF_READ_LATENCY_S)
-        t = self.node.clock.now
+        return self.read_at(event, self.node.clock.now)
+
+    def read_at(self, event: str, t: float) -> int:
+        """Passive counter view at virtual time ``t``: no clock movement,
+        no process charge.  The MonEQ agent path — the session owns time
+        and charges the syscall latency itself."""
+        domain = PERF_RAPL_EVENTS.get(event)
+        if domain is None:
+            raise KeyError(f"unknown perf event {event!r}")
         joules = self.package.energy_raw(domain, t) * self.package.units.energy_j
         return int(joules / PERF_ENERGY_UNIT_J)
+
+    def read_block(self, event: str, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read_at` (int64 array, bit-identical to a
+        scalar read loop)."""
+        domain = PERF_RAPL_EVENTS.get(event)
+        if domain is None:
+            raise KeyError(f"unknown perf event {event!r}")
+        raws = self.package.energy_raw_block(domain, times)
+        joules = raws * self.package.units.energy_j
+        return np.floor(joules / PERF_ENERGY_UNIT_J).astype(np.int64)
 
     def read_joules(self, event: str) -> float:
         """Convenience: event counter converted to joules."""

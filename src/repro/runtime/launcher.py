@@ -13,11 +13,22 @@ Semantics:
 * scheduling is by smallest (local_time, rank), so runs are fully
   deterministic;
 * if every unfinished rank is blocked, :class:`DeadlockError` names the
-  blocked ranks and what they wait on.
+  blocked ranks, their local times, and what they wait on.
+
+Two schedulers produce that identical order.  The default ``"heap"``
+scheduler keeps runnable ranks in a (time, rank) heap — a rank leaves
+the heap when it blocks and is pushed back by the send or collective
+completion that unblocks it, so each scheduling decision is O(log n)
+instead of an O(n) rescan.  ANY_SOURCE receives use a per-(dest, tag)
+heap over the *heads* of the per-source message queues (heads only:
+within one queue arrivals are not sorted, because transfer time depends
+on message size).  The ``"linear"`` scheduler is the original full-scan
+reference, kept for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
@@ -73,6 +84,7 @@ class RankResult:
 @dataclass
 class _RankState:
     generator: Generator
+    rank: int = 0
     time: float = 0.0
     finished: bool = False
     value: Any = None
@@ -80,6 +92,9 @@ class _RankState:
     in_collective: Any = None
     collective_payload: Any = None
     send_next: Any = None  # value to send into the generator on resume
+    #: True while this rank has an entry in the runnable heap.  A rank's
+    #: time never changes while queued, so entries are never stale.
+    queued: bool = False
     sent: int = 0
     received: int = 0
     busy_spans: list = field(default_factory=list)
@@ -106,37 +121,62 @@ class Launcher:
         Number of ranks.
     interconnect:
         Cost model; defaults to the BG/Q torus.
+    scheduler:
+        ``"heap"`` (default) or ``"linear"``; both produce the same
+        deterministic schedule (see the module docstring).
     """
 
     def __init__(self, rank_fn: Callable[[RankContext], Any], size: int,
                  interconnect: Interconnect = BGQ_TORUS,
-                 record_busy: bool = False):
+                 record_busy: bool = False, scheduler: str = "heap"):
         if size <= 0:
             raise RuntimeSimError(f"size must be positive, got {size}")
+        if scheduler not in ("heap", "linear"):
+            raise RuntimeSimError(
+                f"scheduler must be 'heap' or 'linear', got {scheduler!r}"
+            )
         self.rank_fn = rank_fn
         self.size = size
         self.net = interconnect
         self.record_busy = record_busy
+        self.scheduler = scheduler
         self._ranks: list[_RankState] = []
         #: (dest, source, tag) -> deque of (arrival_time, payload)
         self._mailboxes: dict[tuple[int, int, int], deque] = {}
         self._collective_gate: dict[Any, list[int]] = {}
+        #: Runnable ranks as a (time, rank) heap ("heap" scheduler).
+        self._runnable: list[tuple[float, int]] = []
+        #: (dest, tag) -> heap of (head_arrival, source) over non-empty
+        #: mailboxes, for O(log n) ANY_SOURCE matching.  Entries go
+        #: stale when their head is consumed; they are discarded lazily.
+        self._any_heads: dict[tuple[int, int], list[tuple[float, int]]] = {}
 
     # -- public API ------------------------------------------------------------
 
     def run(self) -> list[RankResult]:
         """Execute to completion; returns per-rank results."""
         self._ranks = []
+        self._mailboxes = {}
+        self._collective_gate = {}
+        self._runnable = []
+        self._any_heads = {}
         for rank in range(self.size):
             gen = self._as_generator(self.rank_fn, RankContext(rank, self.size))
-            self._ranks.append(_RankState(generator=gen))
+            self._ranks.append(_RankState(generator=gen, rank=rank))
+        heap_mode = self.scheduler == "heap"
+        if heap_mode:
+            for state in self._ranks:
+                self._push_runnable(state)
         while True:
-            state = self._pick_runnable()
+            state = self._pop_runnable() if heap_mode else self._pick_runnable()
             if state is None:
                 if all(s.finished for s in self._ranks):
                     break
                 self._raise_deadlock()
             self._step(state)
+            if heap_mode and not state.finished \
+                    and state.in_collective is None and state.blocked_on is None:
+                self._push_runnable(state)
         # Scheduling telemetry lands once per run, off the hot loop.
         LAUNCHER_RUNS.inc()
         LAUNCHER_RANKS.inc(self.size)
@@ -153,7 +193,21 @@ class Launcher:
 
     # -- scheduling -----------------------------------------------------------
 
+    def _push_runnable(self, state: _RankState) -> None:
+        if not state.queued:
+            state.queued = True
+            heapq.heappush(self._runnable, (state.time, state.rank))
+
+    def _pop_runnable(self) -> _RankState | None:
+        if not self._runnable:
+            return None
+        _, rank = heapq.heappop(self._runnable)
+        state = self._ranks[rank]
+        state.queued = False
+        return state
+
     def _pick_runnable(self) -> _RankState | None:
+        """The reference scan: smallest (time, rank) over runnable ranks."""
         best = None
         for state in self._ranks:
             if state.finished or state.in_collective is not None:
@@ -165,7 +219,7 @@ class Launcher:
         return best
 
     def _step(self, state: _RankState) -> None:
-        rank = self._ranks.index(state)
+        rank = state.rank
         if state.blocked_on is not None:
             # A match arrived; complete the receive.
             state.send_next = self._complete_recv(rank, state, state.blocked_on)
@@ -215,11 +269,24 @@ class Launcher:
         state.time += gap
         arrival = state.time + self.net.ptp_time(nbytes)
         key = (op.dest, rank, op.tag)
-        self._mailboxes.setdefault(key, deque()).append((arrival, op.payload))
+        queue = self._mailboxes.setdefault(key, deque())
+        if not queue:
+            # The message becomes this mailbox's head: index it.
+            heapq.heappush(
+                self._any_heads.setdefault((op.dest, op.tag), []), (arrival, rank)
+            )
+        queue.append((arrival, op.payload))
         state.sent += 1
+        dest_state = self._ranks[op.dest]
+        if (self.scheduler == "heap"
+                and dest_state.blocked_on is not None
+                and dest_state.blocked_on.tag == op.tag
+                and dest_state.blocked_on.source in (rank, ANY_SOURCE)):
+            # This send is the match the blocked receiver waits for.
+            self._push_runnable(dest_state)
 
     def _match_exists(self, state: _RankState) -> bool:
-        return self._match_exists_for(self._ranks.index(state), state.blocked_on)
+        return self._match_exists_for(state.rank, state.blocked_on)
 
     def _match_exists_for(self, rank: int, op: Recv) -> bool:
         return self._find_mailbox(rank, op) is not None
@@ -229,22 +296,30 @@ class Launcher:
             key = (rank, op.source, op.tag)
             return key if self._mailboxes.get(key) else None
         # ANY_SOURCE: deterministic choice — earliest arrival, then
-        # lowest source rank.
-        best_key, best_arrival = None, None
-        for source in range(self.size):
-            key = (rank, source, op.tag)
-            queue = self._mailboxes.get(key)
-            if queue:
-                arrival = queue[0][0]
-                if best_arrival is None or (arrival, source) < (best_arrival, best_key[1]):
-                    best_key, best_arrival = key, arrival
-        return best_key
+        # lowest source rank.  The head index gives the answer without
+        # scanning every source; an entry is live iff it still describes
+        # its mailbox's head.
+        heads = self._any_heads.get((rank, op.tag))
+        while heads:
+            arrival, source = heads[0]
+            queue = self._mailboxes.get((rank, source, op.tag))
+            if queue and queue[0][0] == arrival:
+                return (rank, source, op.tag)
+            heapq.heappop(heads)
+        return None
 
     def _complete_recv(self, rank: int, state: _RankState, op: Recv) -> Any:
         key = self._find_mailbox(rank, op)
         if key is None:  # pragma: no cover - guarded by callers
             raise RuntimeSimError("recv completed without a match")
-        arrival, payload = self._mailboxes[key].popleft()
+        queue = self._mailboxes[key]
+        arrival, payload = queue.popleft()
+        if queue:
+            # A new head emerged: index it.
+            heapq.heappush(
+                self._any_heads.setdefault((rank, op.tag), []),
+                (queue[0][0], key[1]),
+            )
         state.time = max(state.time, arrival) + RECV_OVERHEAD_S
         state.received += 1
         return payload
@@ -287,11 +362,14 @@ class Launcher:
             self.size, nbytes
         )
         results = self._collective_results(key, gate, members)
+        heap_mode = self.scheduler == "heap"
         for state, result in zip(members, results):
             state.time = exit_time
             state.in_collective = None
             state.collective_payload = None
             state.send_next = result
+            if heap_mode:
+                self._push_runnable(state)
         del self._collective_gate[key]
 
     def _collective_results(self, key: tuple, gate: list[int],
@@ -337,9 +415,18 @@ class Launcher:
             if state.finished:
                 continue
             if state.blocked_on is not None:
-                blocked.append(f"rank {i} waiting on {state.blocked_on}")
+                op = state.blocked_on
+                source = ("ANY_SOURCE" if op.source == ANY_SOURCE
+                          else str(op.source))
+                blocked.append(
+                    f"rank {i} at t={state.time:.9g}s waiting on recv"
+                    f"(source={source}, tag={op.tag})"
+                )
             elif state.in_collective is not None:
-                blocked.append(f"rank {i} inside {type(state.in_collective).__name__}")
+                blocked.append(
+                    f"rank {i} at t={state.time:.9g}s inside "
+                    f"{type(state.in_collective).__name__}"
+                )
         LAUNCHER_ERRORS.labels("deadlock").inc()
         raise DeadlockError("; ".join(blocked) or "no runnable ranks")
 

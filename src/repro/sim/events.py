@@ -43,6 +43,12 @@ class EventQueue:
         self.clock = clock if clock is not None else VirtualClock()
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        #: While :meth:`run_until` drives the queue, the bound it will
+        #: run to; None under :meth:`step`/:meth:`run_all`.  Handlers
+        #: that can batch work ahead of the clock (the MonEQ
+        #: block-sampling engine) read this to know how far lookahead
+        #: is safe.
+        self.horizon: float | None = None
 
     def __len__(self) -> int:
         return sum(1 for ev in self._heap if not ev.cancelled)
@@ -83,16 +89,25 @@ class EventQueue:
 
     def run_until(self, t_end: float) -> int:
         """Fire every event with ``time <= t_end`` then advance the clock
-        to exactly ``t_end``.  Returns the number of events fired."""
+        to exactly ``t_end``.  Returns the number of events fired.
+
+        :attr:`horizon` exposes ``t_end`` for the duration of the drive
+        (saved and restored, so a handler that itself calls run_until
+        sees its own bound)."""
         fired = 0
-        while True:
-            self._drop_cancelled()
-            if not self._heap or self._heap[0].time > t_end:
-                break
-            event = heapq.heappop(self._heap)
-            self.clock.advance_to(event.time)
-            event.callback(event.time)
-            fired += 1
+        previous = self.horizon
+        self.horizon = float(t_end)
+        try:
+            while True:
+                self._drop_cancelled()
+                if not self._heap or self._heap[0].time > t_end:
+                    break
+                event = heapq.heappop(self._heap)
+                self.clock.advance_to(event.time)
+                event.callback(event.time)
+                fired += 1
+        finally:
+            self.horizon = previous
         self.clock.advance_to(max(self.clock.now, t_end))
         return fired
 

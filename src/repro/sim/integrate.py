@@ -33,6 +33,7 @@ class CumulativeIntegral:
         self.signal = signal
         self.dt = float(dt)
         self._grid_end = 0.0
+        self._grid_n = 0
         self._times = np.zeros(1)
         self._cumulative = np.zeros(1)
 
@@ -41,7 +42,13 @@ class CumulativeIntegral:
         # Extend in generous chunks to amortize signal evaluation.
         target = max(t_end * 1.25, self._grid_end + 64.0 * self.dt)
         n_new = int(np.ceil((target - self._grid_end) / self.dt))
-        new_times = self._grid_end + self.dt * np.arange(1, n_new + 1)
+        # Grid points come from their integer index (dt * k), never from
+        # offsetting the previous chunk's endpoint: the cached history is
+        # then bit-identical no matter how reads were chunked, which the
+        # MonEQ block-sampling engine relies on for scalar/block parity.
+        new_times = self.dt * np.arange(
+            self._grid_n + 1, self._grid_n + n_new + 1
+        ).astype(np.float64)
         # Trapezoid over each new step, seeded with the last grid point.
         eval_times = np.concatenate(([self._grid_end], new_times))
         values = self.signal.value(eval_times)
@@ -49,6 +56,7 @@ class CumulativeIntegral:
         new_cumulative = self._cumulative[-1] + np.cumsum(steps)
         self._times = np.concatenate((self._times, new_times))
         self._cumulative = np.concatenate((self._cumulative, new_cumulative))
+        self._grid_n += n_new
         self._grid_end = float(self._times[-1])
 
     def value(self, t: np.ndarray | float) -> np.ndarray:

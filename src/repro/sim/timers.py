@@ -73,6 +73,55 @@ class PeriodicTimer:
             self._event.cancel()
             self._event = None
 
+    def plan_block(self, advance_per_tick: float, t_limit: float | None,
+                   horizon: float, max_ticks: int) -> tuple[list[float], int, int]:
+        """Deadlines of the currently-firing tick plus the lookahead
+        ticks that would follow it, assuming the handler advances the
+        clock by exactly ``advance_per_tick`` per tick.
+
+        Call from *inside* the handler.  The grid replays this timer's
+        recurrence — including coalescing, when ``advance_per_tick``
+        overruns the interval — and stops strictly before ``t_limit``
+        (the next foreign event must keep its place in the event order),
+        at ``horizon`` inclusive (a tick exactly on the run_until bound
+        still fires), and at ``max_ticks`` entries.
+
+        Returns ``(times, k_last, coalesced)``; pass the counts to
+        :meth:`commit_block` after handling the block so the
+        post-handler reschedule continues the exact recurrence the
+        scalar path would have produced.
+        """
+        k = self._k
+        t = self.epoch + k * self.interval
+        times = [t]
+        coalesced = 0
+        while len(times) < max_ticks:
+            now = t + advance_per_tick
+            k_next = max(k + 1, math.floor((now - self.epoch) / self.interval) + 1)
+            t_next = self.epoch + k_next * self.interval
+            if t_limit is not None and t_next >= t_limit:
+                break
+            if t_next > horizon:
+                break
+            coalesced += k_next - (k + 1)
+            k = k_next
+            t = t_next
+            times.append(t)
+        return times, k, coalesced
+
+    def commit_block(self, count: int, k_last: int, coalesced: int) -> None:
+        """Account for ``count`` ticks handled in one batched call.
+
+        The firing tick was already counted by the dispatch; the
+        ``count - 1`` lookahead ticks and any intra-block coalescing
+        land here, and the deadline index moves to the last handled
+        tick so the reschedule after the handler returns matches the
+        scalar path bit for bit.
+        """
+        self.ticks_fired += count - 1
+        self.ticks_coalesced += coalesced
+        self._k = k_last
+
     def _fire(self, t: float) -> None:
         if not self._armed:
             return

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ChecksumError, IpmbError
 from repro.obs.instruments import collector
 from repro.sim.clock import VirtualClock
@@ -41,6 +43,27 @@ SENSOR_NUMBERS = {name: i for i, name in enumerate(SMC_SENSORS)}
 def _checksum(data: bytes) -> int:
     """Two's-complement checksum: sum(data + checksum) % 256 == 0."""
     return (-sum(data)) & 0xFF
+
+
+def ipmb_quanta(value: float) -> int:
+    """Fixed-point encoding of one sensor value on the wire:
+    little-endian milli-units, clipped to 31 bits."""
+    return max(min(int(round(value * 1000.0)), 2**31 - 1), 0)
+
+
+def quantize_reading(value: float) -> float:
+    """Resolution loss of one IPMB exchange: what the BMC decodes after
+    :func:`ipmb_quanta` encoding."""
+    return ipmb_quanta(value) / 1000.0
+
+
+def quantize_block(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`quantize_reading` — same half-to-even rounding
+    and clip, elementwise bit-identical to the scalar path."""
+    quanta = np.clip(
+        np.rint(np.asarray(values, dtype=np.float64) * 1000.0), 0, 2**31 - 1
+    )
+    return quanta / 1000.0
 
 
 @dataclass(frozen=True)
@@ -107,7 +130,7 @@ class SmcIpmbResponder:
             raise IpmbError(f"no sensor number {number}")
         value = self.smc.read_sensor(names[0], self.clock.now)
         # Fixed-point milli-units in 4 bytes, completion code 0 first.
-        quanta = max(min(int(round(value * 1000.0)), 2**31 - 1), 0)
+        quanta = ipmb_quanta(value)
         payload = bytes([0x00]) + quanta.to_bytes(4, "little")
         return IpmbMessage(
             rs_addr=request.rq_addr, net_fn=NETFN_SENSOR_RESPONSE,

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import SensorError
 from repro.xeonphi.card import PhiCard
 
@@ -66,6 +68,27 @@ class SystemManagementController:
                 f"have {sorted(self._readers)}"
             )
         return float(reader(t))
+
+    def read_sensor_block(self, name: str, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read_sensor` over a time grid.
+
+        Sensors whose models take arrays (the ones MonEQ polls) read in
+        one shot, elementwise identical to the scalar loop; the rest
+        fall back to looping.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        card = self.card
+        if name == "power_w":
+            return np.asarray(card.power_gauge.read(times), dtype=np.float64)
+        if name == "die_temp_c":
+            return np.asarray(card.die_temperature_c(times), dtype=np.float64)
+        if name == "gddr_temp_c":
+            return np.asarray(card.die_temperature_c(times), dtype=np.float64) - 8.0
+        if name == "exhaust_temp_c":
+            intake = card.intake_temperature_c(0.0)
+            die = np.asarray(card.die_temperature_c(times), dtype=np.float64)
+            return intake + 0.55 * (die - intake)
+        return np.array([self.read_sensor(name, float(t)) for t in times])
 
     def read_all(self, t: float) -> dict[str, float]:
         """Snapshot of every sensor at ``t`` (one SMC scan)."""

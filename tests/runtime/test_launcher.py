@@ -250,3 +250,108 @@ class TestMmpsStyleProgram:
         rate = messages / elapsed
         assert rate <= BGQ_TORUS.messaging_rate(32) * 1.01
         assert rate > BGQ_TORUS.messaging_rate(32) * 0.3
+
+
+class TestHeapScheduler:
+    """The heap scheduler must reproduce the linear reference schedule
+    exactly — same values, same times, same message counts."""
+
+    @staticmethod
+    def _equivalent(program, size, interconnect=BGQ_TORUS):
+        a = Launcher(program, size=size, scheduler="linear",
+                     interconnect=interconnect, record_busy=True).run()
+        b = Launcher(program, size=size, scheduler="heap",
+                     interconnect=interconnect, record_busy=True).run()
+        assert [(r.value, r.finish_time, r.messages_sent, r.messages_received,
+                 r.busy_spans) for r in a] == \
+               [(r.value, r.finish_time, r.messages_sent, r.messages_received,
+                 r.busy_spans) for r in b]
+        return b
+
+    def test_scheduler_name_validated(self):
+        with pytest.raises(RuntimeSimError, match="scheduler"):
+            Launcher(lambda ctx: None, size=1, scheduler="quantum")
+
+    def test_any_source_fan_in_equivalent(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                got = []
+                for _ in range(ctx.size - 1):
+                    got.append((yield Recv(source=ANY_SOURCE, tag=3)))
+                return sorted(got)
+            yield Compute(1e-5 * ((ctx.rank * 7) % 5 + 1))
+            yield Send(dest=0, payload=ctx.rank, tag=3,
+                       nbytes=64 if ctx.rank % 2 else 65536)
+
+        results = self._equivalent(program, size=16)
+        assert results[0].value == list(range(1, 16))
+
+    def test_mixed_collectives_and_ptp_equivalent(self):
+        def program(ctx):
+            yield Compute(1e-6 * (ctx.rank % 3))
+            peer = ctx.rank ^ 1
+            for i in range(5):
+                yield Send(dest=peer, payload=(ctx.rank, i), tag=i)
+            got = []
+            for i in range(5):
+                got.append((yield Recv(source=peer, tag=i)))
+            yield Barrier()
+            total = yield Allreduce(ctx.rank, op=lambda x, y: x + y)
+            return (got, total)
+
+        self._equivalent(program, size=8)
+
+    def test_same_source_out_of_order_arrivals(self):
+        """Two sends from one source where the second *arrives* first
+        (big message then small): non-overtaking order must hold, so
+        the ANY_SOURCE head index must track queue heads, not arrivals."""
+        def program(ctx):
+            if ctx.rank == 0:
+                first = yield Recv(source=ANY_SOURCE, tag=0)
+                second = yield Recv(source=ANY_SOURCE, tag=0)
+                return [first, second]
+            yield Send(dest=0, payload="big", tag=0, nbytes=10_000_000)
+            yield Send(dest=0, payload="small", tag=0, nbytes=8)
+
+        results = self._equivalent(program, size=2)
+        assert results[0].value == ["big", "small"]
+
+    def test_deadlock_report_names_every_blocked_rank(self):
+        """The report lists each blocked rank with its local time and
+        what it waits on — (source, tag) or the collective."""
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Compute(0.25)
+                yield Recv(source=2, tag=7)
+            elif ctx.rank == 1:
+                yield Recv(source=ANY_SOURCE, tag=9)
+            else:
+                yield Barrier()
+
+        with pytest.raises(DeadlockError) as err:
+            Launcher(program, size=3).run()
+        message = str(err.value)
+        assert "rank 0 at t=0.25s waiting on recv(source=2, tag=7)" in message
+        assert "rank 1 at t=0s waiting on recv(source=ANY_SOURCE, tag=9)" \
+            in message
+        assert "rank 2 at t=0s inside Barrier" in message
+
+    def test_deadlock_equivalent_across_schedulers(self):
+        def program(ctx):
+            yield Recv(source=(ctx.rank + 1) % ctx.size, tag=1)
+
+        messages = []
+        for scheduler in ("linear", "heap"):
+            with pytest.raises(DeadlockError) as err:
+                Launcher(program, size=4, scheduler=scheduler).run()
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+    def test_launcher_reusable_after_run(self):
+        def program(ctx):
+            yield Send(dest=(ctx.rank + 1) % ctx.size, payload=ctx.rank, tag=0)
+            return (yield Recv(source=ANY_SOURCE, tag=0))
+
+        launcher = Launcher(program, size=4)
+        assert [r.value for r in launcher.run()] == \
+               [r.value for r in launcher.run()]

@@ -63,3 +63,39 @@ def test_repo_is_ruff_clean():
         cwd=REPO_ROOT, capture_output=True, text=True,
     )
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.tier1
+def test_backend_block_contract_on_surface():
+    """The vectorized sampling contract is supported API: ``Backend``
+    is exported, declares ``read_block``, and the scalar-loop fallback
+    serves any subclass that only implements ``read_at``."""
+    assert "Backend" in api.__all__
+    assert callable(api.Backend.read_block)
+    assert "bit-identical" in api.Backend.read_block.__doc__
+
+    class TwoFieldBackend(api.Backend):
+        platform = "test"
+        label = "t0"
+        min_interval_s = 0.1
+        query_latency_s = 1e-4
+
+        def fields(self):
+            return ["a", "b"]
+
+        def read_at(self, t):
+            return {"a": t * 2.0, "b": t - 1.0}
+
+        def capabilities(self):
+            return None
+
+    block = TwoFieldBackend().read_block([0.0, 0.5, 2.0])
+    assert block.dtype.names == ("a", "b")
+    assert list(block["a"]) == [0.0, 1.0, 4.0]
+    assert list(block["b"]) == [-1.0, -0.5, 1.0]
+
+
+@pytest.mark.tier1
+def test_session_config_exposes_block_ticks():
+    config = api.MoneqConfig(block_ticks=256)
+    assert config.block_ticks == 256
