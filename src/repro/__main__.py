@@ -5,13 +5,26 @@
     python -m repro list                # available experiments
     python -m repro table3              # regenerate one table/figure
     python -m repro all                 # regenerate everything
-    python -m repro report              # print EXPERIMENTS.md content
+    python -m repro report [--jobs N] [--no-cache] [--cache-root DIR]
+                                        # print EXPERIMENTS.md content
+                                        # (cached by default; --jobs N
+                                        # fans misses over N processes)
+    python -m repro exec run <id...> [--jobs N] [--no-cache]
+                                        # run experiments through the engine
+    python -m repro exec cache stats    # result-cache size and contents
+    python -m repro exec cache clear    # drop every cached result
+    python -m repro exec bench [json_path]
+                                        # engine cold/warm benches ->
+                                        # BENCH_exec.json
     python -m repro obs dump [target..] # run exercises, dump metrics+spans
     python -m repro store bench [racks [shards [interval_s]]]
                                         # exercise the sharded envdb store
-    python -m repro bench perf [json_path]
+    python -m repro bench perf [json_path] [--check]
                                         # wall-clock hot-path benches ->
                                         # BENCH_moneq.json perf baseline
+                                        # (--check: compare against the
+                                        # committed file, exit 1 on
+                                        # regression, write nothing)
 """
 
 from __future__ import annotations
@@ -121,18 +134,27 @@ def _store_command(args: list[str]) -> int:
 
 
 def _bench_command(args: list[str]) -> int:
-    """``repro bench perf [json_path]`` — run the hot-path wall-clock
-    benches (block-sampling engine, heap scheduler, full session) and
-    write the trajectory file future PRs regress against."""
+    """``repro bench perf [json_path] [--check]`` — run the hot-path
+    wall-clock benches (block-sampling engine, heap scheduler, full
+    session).  Without ``--check``, write the trajectory file future PRs
+    regress against; with it, compare fresh speedups to the committed
+    file within :data:`repro.perfbench.CHECK_TOLERANCE` and exit 1 on
+    regression without rewriting anything."""
     from repro import perfbench
     from repro.analysis.tables import format_table
 
     if not args or args[0] != "perf":
-        print("usage: python -m repro bench perf [json_path]", file=sys.stderr)
+        print("usage: python -m repro bench perf [json_path] [--check]",
+              file=sys.stderr)
         return 2
-    json_path = args[1] if len(args) > 1 else "BENCH_moneq.json"
+    checking = "--check" in args
+    positional = [a for a in args[1:] if a != "--check"]
+    json_path = positional[0] if positional else "BENCH_moneq.json"
 
-    results = perfbench.run(json_path)
+    if checking:
+        failures, results = perfbench.check(json_path)
+    else:
+        failures, results = [], perfbench.run(json_path)
     rows = []
     for name, r in results.items():
         detail = ", ".join(
@@ -142,15 +164,132 @@ def _bench_command(args: list[str]) -> int:
         )
         rows.append((name, f"{r['wall_s'] * 1e3:.1f} ms",
                      f"{r['speedup_vs_scalar']:.1f}x", detail))
-    print(format_table(
-        ("bench", "wall", "vs scalar", "detail"), rows,
-        title=f"[repro bench perf] wrote {json_path}",
-    ))
+    title = (f"[repro bench perf] checked against {json_path}" if checking
+             else f"[repro bench perf] wrote {json_path}")
+    print(format_table(("bench", "wall", "vs scalar", "detail"), rows,
+                       title=title))
     if not results["moneq_block"]["byte_identical"]:
         print("FAIL: block-sampled output diverged from scalar",
               file=sys.stderr)
         return 1
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _report_flags(args: list[str]) -> tuple[int, bool, str | None, list[str]]:
+    """Parse the shared ``--jobs N --no-cache --cache-root DIR`` flags;
+    returns ``(jobs, cache, cache_root, positional)``."""
+    jobs, cache, cache_root = 1, True, None
+    positional: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--jobs":
+            if i + 1 >= len(args):
+                raise ValueError("--jobs needs a value")
+            jobs = int(args[i + 1])
+            i += 2
+        elif arg.startswith("--jobs="):
+            jobs = int(arg.split("=", 1)[1])
+            i += 1
+        elif arg == "--no-cache":
+            cache = False
+            i += 1
+        elif arg == "--cache-root":
+            if i + 1 >= len(args):
+                raise ValueError("--cache-root needs a value")
+            cache_root = args[i + 1]
+            i += 2
+        elif arg.startswith("--cache-root="):
+            cache_root = arg.split("=", 1)[1]
+            i += 1
+        else:
+            positional.append(arg)
+            i += 1
+    return jobs, cache, cache_root, positional
+
+
+def _exec_command(args: list[str]) -> int:
+    """``repro exec run|cache|bench`` — drive the experiment engine
+    directly: run named experiments through the pool and cache, inspect
+    or clear the content-addressed result cache, or time the engine's
+    cold/warm paths into ``BENCH_exec.json``."""
+    from repro.analysis.tables import format_table
+    from repro.errors import ExperimentExecutionError
+    from repro.exec import Engine, ResultCache
+
+    usage = ("usage: python -m repro exec run <id...> [--jobs N] [--no-cache]\n"
+             "       python -m repro exec cache stats|clear\n"
+             "       python -m repro exec bench [json_path]")
+    if not args:
+        print(usage, file=sys.stderr)
+        return 2
+
+    if args[0] == "run":
+        try:
+            jobs, cache, cache_root, exp_ids = _report_flags(args[1:])
+        except ValueError as exc:
+            print(f"exec run: {exc}", file=sys.stderr)
+            return 2
+        if not exp_ids:
+            print("exec run: name at least one experiment "
+                  "(see 'python -m repro list')", file=sys.stderr)
+            return 2
+        engine = Engine(jobs=jobs, cache=cache, cache_root=cache_root)
+        try:
+            blocks = engine.run(exp_ids)
+        except ExperimentExecutionError as exc:
+            print(f"exec run failed: {exc}", file=sys.stderr)
+            return 1
+        from repro.experiments.report import render_block
+        for block in blocks.values():
+            print("\n".join(render_block(block)))
+        stats = engine.stats
+        print(f"# {stats.executed} executed, {stats.cache_hits} cached, "
+              f"{stats.retries} retried, {stats.wall_s * 1e3:.1f} ms "
+              f"(jobs={jobs})")
+        return 0
+
+    if args[0] == "cache":
+        cache = ResultCache()
+        if len(args) > 1 and args[1] == "clear":
+            removed = cache.clear()
+            print(f"removed {removed} cached result(s) from {cache.root}")
+            return 0
+        if len(args) > 1 and args[1] == "stats":
+            stats = cache.stats()
+            rows = [(exp_id, str(n)) for exp_id, n
+                    in sorted(stats.experiments.items())]
+            rows.append(("total entries", str(stats.entries)))
+            rows.append(("total bytes", str(stats.total_bytes)))
+            print(format_table(
+                ("experiment", "entries"), rows,
+                title=f"[repro exec cache] {stats.root}"))
+            return 0
+        print("usage: python -m repro exec cache stats|clear",
+              file=sys.stderr)
+        return 2
+
+    if args[0] == "bench":
+        from repro.exec import bench as exec_bench
+        json_path = args[1] if len(args) > 1 else "BENCH_exec.json"
+        results = exec_bench.run(json_path)
+        rows = [(name, f"{r['wall_s'] * 1e3:.1f} ms",
+                 ", ".join(f"{k}={v:g}" if isinstance(v, (int, float))
+                           else f"{k}={v}"
+                           for k, v in r.items() if k != "wall_s"))
+                for name, r in results["runs"].items()]
+        rows.append(("byte_identical", str(results["byte_identical"]), ""))
+        rows.append(("cpus", str(results["cpus"]), ""))
+        print(format_table(("run", "wall", "detail"), rows,
+                           title=f"[repro exec bench] wrote {json_path}"))
+        return 0 if results["byte_identical"] else 1
+
+    print(usage, file=sys.stderr)
+    return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -169,8 +308,18 @@ def main(argv: list[str] | None = None) -> int:
         return _store_command(args[1:])
     if command == "bench":
         return _bench_command(args[1:])
+    if command == "exec":
+        return _exec_command(args[1:])
     if command == "report":
-        report_module.main()
+        try:
+            jobs, cache, cache_root, extra = _report_flags(args[1:])
+        except ValueError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        if extra:
+            print(f"report: unexpected argument(s) {extra}", file=sys.stderr)
+            return 2
+        report_module.main(jobs=jobs, cache=cache, cache_root=cache_root)
         return 0
     if command == "all":
         for name, module in ALL_EXPERIMENTS.items():

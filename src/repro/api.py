@@ -38,11 +38,20 @@ from repro.core.moneq.session import MoneqResult, MoneqSession
 from repro.errors import (
     ConfigError,
     DeviceError,
+    ExperimentExecutionError,
     MoneqBufferFullError,
     MoneqError,
     MoneqStateError,
     ReproError,
     SensorError,
+)
+from repro.exec import (
+    CacheStats,
+    Engine,
+    EngineStats,
+    ExperimentReport,
+    ExperimentSpec,
+    ResultCache,
 )
 from repro.store import (
     Aggregate,
@@ -79,6 +88,13 @@ __all__ = [
     "FlushReport",
     "series_from_readings",
     "store_series",
+    # experiment execution engine
+    "Engine",
+    "EngineStats",
+    "ExperimentSpec",
+    "ExperimentReport",
+    "ResultCache",
+    "CacheStats",
     # error types
     "ReproError",
     "ConfigError",
@@ -87,6 +103,7 @@ __all__ = [
     "MoneqError",
     "MoneqStateError",
     "MoneqBufferFullError",
+    "ExperimentExecutionError",
     # metadata
     "API_VERSION",
     "__version__",

@@ -26,9 +26,14 @@ def render_agent_file(label: str, platform: str, fields: list[str],
         f"# records={len(records)} fields={len(fields)}",
         "# time_s " + " ".join(fields),
     ]
-    for row in records:
-        values = " ".join(f"{row[name]:.6f}" for name in fields)
-        lines.append(f"{row['time_s']:.6f} {values}")
+    # Row-at-a-time field indexing on structured scalars dominates
+    # finalize at scale; pulling each column out once and %-formatting
+    # whole rows renders the same bytes several times faster ("%.6f"
+    # and ":.6f" round identically for float64).
+    columns = [records["time_s"].tolist()]
+    columns.extend(records[name].tolist() for name in fields)
+    row_format = " ".join(["%.6f"] * len(columns))
+    lines.extend(row_format % row for row in zip(*columns))
     # Post-run marker injection, in time order.
     lines.extend(marker for _, marker in markers)
     return "\n".join(lines) + "\n"

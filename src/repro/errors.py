@@ -149,3 +149,8 @@ class ObservabilityError(ReproError):
 class WorkloadError(ReproError):
     """Workload model misconfiguration (negative duration, unknown
     component, overlapping phases)."""
+
+
+class ExperimentExecutionError(ReproError):
+    """One or more experiment tasks failed in the execution engine
+    (worker crash/timeout after its retry, or a task exception)."""

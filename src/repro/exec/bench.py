@@ -1,0 +1,95 @@
+"""Wall-clock benches of the experiment engine itself.
+
+Three runs of the full report through :class:`repro.exec.Engine`, into
+a throwaway cache directory: cold serial (the pre-engine baseline),
+cold parallel (every task recomputed through the worker pool), and warm
+(every task served from the content-addressed cache).  The rendered
+markdown must be byte-identical across all three — the engine's core
+contract — and ``python -m repro exec bench`` writes the measured walls
+to ``BENCH_exec.json`` so future PRs have a trajectory to regress
+against.
+
+Parallel speedup here is bounded by the host: the file records ``cpus``
+(``os.cpu_count()``) next to the walls so a single-core CI runner's
+numbers are not mistaken for a scheduling regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+DEFAULT_JOBS = 8
+
+
+def run(json_path: str | None = "BENCH_exec.json",
+        jobs: int = DEFAULT_JOBS) -> dict:
+    """Time cold-serial, cold-parallel, and warm report generation.
+
+    Returns ``{"runs": {name: {wall_s, ...}}, "byte_identical": bool,
+    "cpus": int, "tasks": int}`` and, unless ``json_path`` is None,
+    writes the trajectory file.
+    """
+    from repro.exec.engine import Engine
+    from repro.experiments import report
+
+    cache_root = tempfile.mkdtemp(prefix="repro-exec-bench-")
+    try:
+        def timed(run_jobs: int, cache: bool) -> tuple[float, str]:
+            t0 = time.perf_counter()
+            md = report.generate_markdown(jobs=run_jobs, cache=cache,
+                                          cache_root=cache_root)
+            return time.perf_counter() - t0, md
+
+        # Cold serial, no cache involvement: the pre-engine baseline.
+        wall_serial, md_serial = timed(1, cache=False)
+        # Cold parallel: empty cache, every task through the pool.
+        wall_cold, md_cold = timed(jobs, cache=True)
+        # Warm: same cache, every task a hit.
+        wall_warm, md_warm = timed(jobs, cache=True)
+
+        engine = Engine(jobs=1, cache=True, cache_root=cache_root)
+        engine.run()
+        if engine.stats.cache_misses:
+            raise AssertionError(
+                f"warm engine still missed {engine.stats.cache_misses} "
+                f"task(s)")
+        tasks = engine.stats.cache_hits
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    byte_identical = md_serial == md_cold == md_warm
+    results = {
+        "runs": {
+            "cold_serial": {"wall_s": wall_serial, "jobs": 1},
+            f"cold_parallel_jobs{jobs}": {
+                "wall_s": wall_cold, "jobs": jobs,
+                "speedup_vs_serial": wall_serial / wall_cold,
+            },
+            "warm_cache": {
+                "wall_s": wall_warm, "jobs": jobs,
+                "speedup_vs_cold_serial": wall_serial / wall_warm,
+            },
+        },
+        "byte_identical": byte_identical,
+        "cpus": os.cpu_count() or 1,
+        "tasks": tasks,
+    }
+    if json_path is not None:
+        trajectory = {
+            "byte_identical": byte_identical,
+            "cpus": results["cpus"],
+            "tasks": tasks,
+            "runs": {
+                name: {k: round(v, 6) if isinstance(v, float) else v
+                       for k, v in r.items()}
+                for name, r in results["runs"].items()
+            },
+        }
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(trajectory, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return results

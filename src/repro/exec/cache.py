@@ -1,0 +1,170 @@
+"""Content-addressed result cache under ``.repro-cache/``.
+
+A cache entry is one finished task payload, stored as JSON at
+``<root>/exec/<digest[:2]>/<digest>.json`` where the digest names the
+*inputs* — ``(experiment id, part, canonical config, source
+fingerprint)`` — and the entry body carries its own payload digest so
+corruption (truncated writes, bit rot, hand edits) is detected on read,
+evicted, and recomputed rather than served.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+worker can never publish a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exec.spec import ExperimentSpec, canonical_config
+from repro.obs.instruments import EXEC_CACHE
+
+#: Bump to invalidate every existing entry on a format change.
+CACHE_FORMAT = 1
+
+#: Environment override for the cache location (CI sandboxes, tests).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+DEFAULT_CACHE_ROOT = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_ROOT))
+
+
+def cache_key(spec: ExperimentSpec, part: str, fingerprint: str) -> str:
+    """The content address of one (spec, part, code-state) result."""
+    blob = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "experiment": spec.exp_id,
+            "part": part,
+            "config": canonical_config(spec.config),
+            "seed": spec.seed,
+            "sources": fingerprint,
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def payload_digest(payload: dict) -> str:
+    """Canonical digest of a JSON payload (order-insensitive)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What ``repro exec cache stats`` reports."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    experiments: dict[str, int]  # exp_id -> entry count
+
+
+class ResultCache:
+    """Load/store finished task payloads by content address."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.dir = self.root / "exec"
+
+    def _path(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or None on miss.
+
+        A present-but-invalid entry (unparseable, wrong key, payload
+        digest mismatch) counts as corruption: it is evicted and None
+        is returned so the engine recomputes.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._evict(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != CACHE_FORMAT
+            or entry.get("key") != key
+            or "payload" not in entry
+            or entry.get("payload_sha256") != payload_digest(entry["payload"])
+        ):
+            self._evict(path)
+            return None
+        return entry["payload"]
+
+    def store(self, key: str, exp_id: str, part: str, payload: dict) -> None:
+        """Atomically publish one finished payload."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "experiment": exp_id,
+            "part": part,
+            "payload": payload,
+            "payload_sha256": payload_digest(payload),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        EXEC_CACHE.labels("store").inc()
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        EXEC_CACHE.labels("evict_corrupt").inc()
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total_bytes = 0
+        experiments: dict[str, int] = {}
+        for path in sorted(self.dir.glob("*/*.json")):
+            entries += 1
+            total_bytes += path.stat().st_size
+            try:
+                exp = json.loads(path.read_text(encoding="utf-8")).get(
+                    "experiment", "?")
+            except (OSError, ValueError):
+                exp = "?"
+            experiments[exp] = experiments.get(exp, 0) + 1
+        return CacheStats(root=str(self.root), entries=entries,
+                          total_bytes=total_bytes, experiments=experiments)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.dir.is_dir():
+            for path in self.dir.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for sub in self.dir.glob("*"):
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed

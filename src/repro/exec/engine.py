@@ -1,0 +1,230 @@
+"""Cache-then-pool orchestration of registered experiments.
+
+``Engine.run`` takes the registry's specs, expands them into (spec,
+part) tasks, serves whatever the content-addressed cache already holds,
+fans the misses out over the worker pool (longest first, so the slowest
+shard bounds the makespan), publishes fresh results back to the cache,
+and assembles the per-experiment report blocks in registry order — so
+the rendered report is byte-identical whatever the worker count or
+cache state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentExecutionError
+from repro.exec.cache import ResultCache, cache_key, payload_digest
+from repro.exec.fingerprint import source_fingerprint
+from repro.exec.pool import PoolTask, WorkerPool
+from repro.exec.spec import (
+    ExecTask,
+    ExperimentReport,
+    ExperimentSpec,
+    TaskOutcome,
+    config_kwargs,
+)
+from repro.obs.instruments import EXEC_CACHE, EXEC_TASK_SECONDS
+
+
+def _seed_rngs(spec: ExperimentSpec, part: str) -> None:
+    """Deterministic per-task seeding, independent of worker identity.
+
+    Experiments draw their randomness from explicit ``RngRegistry``
+    seeds already; this pins the *ambient* generators so any incidental
+    use is reproducible too.
+    """
+    digest = hashlib.sha256(
+        f"{spec.exp_id}:{part}:{spec.seed}".encode()).digest()
+    random.seed(digest)
+    try:
+        import numpy
+
+        numpy.random.seed(int.from_bytes(digest[:4], "big"))
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+
+
+def execute_task(item: tuple[str, str]) -> dict:
+    """Run one (exp_id, part) task to a JSON payload.
+
+    Module-level so forked pool workers resolve it without pickling
+    closures; the registry import inside the worker is free under fork.
+    """
+    # Imported lazily: the registry imports the experiment modules,
+    # which import repro.exec.spec — a cycle if resolved at import time.
+    from repro.exec import registry
+
+    exp_id, part = item
+    spec = registry.get_spec(exp_id)
+    module = importlib.import_module(spec.module)
+    _seed_rngs(spec, part)
+    if hasattr(module, "run_part"):
+        payload = module.run_part(part, spec.config)
+    else:
+        result = module.run(**config_kwargs(spec.config))
+        payload = module.render(result).to_dict()
+    if not isinstance(payload, dict):
+        raise ExperimentExecutionError(
+            f"{spec.module}.run_part must return a dict payload, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass
+class EngineStats:
+    """Bookkeeping from the last ``Engine.run`` call."""
+
+    wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    retries: int = 0
+    #: task id -> canonical digest of its payload (identical across
+    #: worker counts and cache states — asserted by the determinism
+    #: tests).
+    digests: dict[str, str] = field(default_factory=dict)
+    outcomes: dict[str, TaskOutcome] = field(default_factory=dict)
+
+
+class Engine:
+    """Run registered experiments through cache and worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache misses.  ``1`` executes inline in
+        this process (identical results, no pool).
+    cache:
+        ``False`` disables both cache reads and writes — every task
+        recomputes (the cold path, used by benches).
+    cache_root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro-cache``.
+    timeout_s / retries:
+        Per-task budget and crash/timeout retry count (see the pool).
+    """
+
+    def __init__(self, jobs: int = 1, cache: bool = True,
+                 cache_root: str | None = None, timeout_s: float = 300.0,
+                 retries: int = 1):
+        if jobs < 1:
+            raise ExperimentExecutionError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_enabled = cache
+        self.cache = ResultCache(cache_root)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.stats = EngineStats()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, exp_ids: list[str] | None = None) -> dict[str, ExperimentReport]:
+        """Execute the named experiments (default: all registered).
+
+        Returns ``exp_id -> ExperimentReport`` in registry order.
+        Raises :class:`ExperimentExecutionError` naming every failed
+        task if any part could not be computed.
+        """
+        from repro.exec import registry
+
+        t0 = time.perf_counter()
+        specs = registry.specs_for(exp_ids)
+        stats = EngineStats()
+
+        fingerprints = {
+            spec.exp_id: source_fingerprint(spec.all_sources())
+            for spec in specs
+        }
+        keys: dict[str, str] = {}
+        outcomes: dict[str, TaskOutcome] = {}
+        misses: list[ExecTask] = []
+        for spec in specs:
+            for part in spec.parts:
+                task = ExecTask(spec.exp_id, part, spec.cost_hint_s)
+                keys[task.task_id] = cache_key(
+                    spec, part, fingerprints[spec.exp_id])
+                payload = (self.cache.load(keys[task.task_id])
+                           if self.cache_enabled else None)
+                if payload is not None:
+                    EXEC_CACHE.labels("hit").inc()
+                    stats.cache_hits += 1
+                    outcomes[task.task_id] = TaskOutcome(
+                        task.task_id, payload=payload, cached=True)
+                else:
+                    if self.cache_enabled:
+                        EXEC_CACHE.labels("miss").inc()
+                    stats.cache_misses += 1
+                    misses.append(task)
+
+        # Longest first: the slowest shard starts immediately and sets
+        # the lower bound on the parallel makespan.
+        misses.sort(key=lambda t: (-t.cost_hint_s, t.task_id))
+        outcomes.update(self._execute(misses, stats))
+
+        failed = [o for o in outcomes.values() if not o.ok]
+        if failed:
+            detail = "; ".join(f"{o.task_id}: {o.error}" for o in failed)
+            stats.outcomes = outcomes
+            self.stats = stats
+            raise ExperimentExecutionError(
+                f"{len(failed)} experiment task(s) failed: {detail}")
+
+        if self.cache_enabled:
+            for task in misses:
+                outcome = outcomes[task.task_id]
+                self.cache.store(keys[task.task_id], task.exp_id, task.part,
+                                 outcome.payload)
+
+        for outcome in outcomes.values():
+            outcome.digest = payload_digest(outcome.payload)
+            stats.digests[outcome.task_id] = outcome.digest
+        stats.outcomes = outcomes
+        stats.executed = len(misses)
+        stats.retries = sum(max(0, o.attempts - 1) for o in outcomes.values())
+        stats.wall_s = time.perf_counter() - t0
+        self.stats = stats
+
+        blocks: dict[str, ExperimentReport] = {}
+        for spec in specs:
+            parts = {part: outcomes[f"{spec.exp_id}:{part}"].payload
+                     for part in spec.parts}
+            blocks[spec.exp_id] = self._assemble(spec, parts)
+        return blocks
+
+    def run_one(self, exp_id: str) -> ExperimentReport:
+        return self.run([exp_id])[exp_id]
+
+    # -- internals -------------------------------------------------------------
+
+    def _execute(self, tasks: list[ExecTask],
+                 stats: EngineStats) -> dict[str, TaskOutcome]:
+        if not tasks:
+            return {}
+        pool = WorkerPool(execute_task, jobs=self.jobs,
+                          timeout_s=self.timeout_s, retries=self.retries)
+        pool_tasks = [PoolTask(t.task_id, (t.exp_id, t.part)) for t in tasks]
+        raw = pool.run(pool_tasks)
+        outcomes: dict[str, TaskOutcome] = {}
+        for task in tasks:
+            result = raw[task.task_id]
+            EXEC_TASK_SECONDS.labels(task.exp_id).observe(result.wall_s)
+            outcomes[task.task_id] = TaskOutcome(
+                task.task_id,
+                payload=result.value if result.ok else None,
+                cached=False, wall_s=result.wall_s,
+                attempts=result.attempts, error=result.error)
+        return outcomes
+
+    @staticmethod
+    def _assemble(spec: ExperimentSpec,
+                  parts: dict[str, dict]) -> ExperimentReport:
+        module = importlib.import_module(spec.module)
+        if hasattr(module, "render_block"):
+            return module.render_block(parts)
+        return ExperimentReport.from_dict(parts[spec.parts[0]])

@@ -1,0 +1,68 @@
+"""Source fingerprints for cache invalidation.
+
+A cached result is only valid while the code that produced it is
+unchanged, so every spec declares the modules its result depends on and
+the cache key folds in a digest of their source text.  Package names
+expand to every ``*.py`` file under the package, recursively; module
+names resolve to their single source file.  Per-file digests are
+memoized on ``(path, mtime_ns, size)`` so a warm ``repro report`` pays
+one ``stat`` — not one read — per already-seen file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+#: (absolute path, mtime_ns, size) -> hex digest of file content.
+_FILE_DIGESTS: dict[tuple[str, int, int], str] = {}
+
+
+def _source_files(module_name: str) -> list[Path]:
+    """The source file(s) a module/package name refers to."""
+    try:
+        found = importlib.util.find_spec(module_name)
+    except (ImportError, ValueError) as exc:
+        raise ConfigError(
+            f"cannot resolve declared source module {module_name!r}: {exc}"
+        ) from exc
+    if found is None:
+        raise ConfigError(f"declared source module {module_name!r} not found")
+    if found.submodule_search_locations:
+        files: list[Path] = []
+        for root in found.submodule_search_locations:
+            files.extend(sorted(Path(root).rglob("*.py")))
+        return files
+    if found.origin and found.origin.endswith(".py"):
+        return [Path(found.origin)]
+    raise ConfigError(
+        f"declared source module {module_name!r} has no Python source"
+    )
+
+
+def file_digest(path: Path) -> str:
+    """Content digest of one file, memoized on (path, mtime, size)."""
+    stat = os.stat(path)
+    key = (str(path), stat.st_mtime_ns, stat.st_size)
+    cached = _FILE_DIGESTS.get(key)
+    if cached is None:
+        cached = hashlib.sha256(path.read_bytes()).hexdigest()
+        _FILE_DIGESTS[key] = cached
+    return cached
+
+
+def source_fingerprint(module_names: tuple[str, ...]) -> str:
+    """One digest over the source text of every named module/package.
+
+    The digest covers ``module_name`` + file basename + content hash per
+    file, in deterministic order, so renames and edits both invalidate.
+    """
+    hasher = hashlib.sha256()
+    for name in module_names:
+        for path in _source_files(name):
+            hasher.update(f"{name}:{path.name}:{file_digest(path)}\n".encode())
+    return hasher.hexdigest()

@@ -1,0 +1,246 @@
+"""The multiprocessing worker pool behind the experiment engine.
+
+Deliberately not ``multiprocessing.Pool``: the engine needs per-task
+wall-clock timeouts, crash containment (a worker dying must not take
+the run down), and a single deterministic retry — semantics Pool does
+not offer.  Each worker owns a one-slot inbox; the parent dispatches
+the next pending task to whichever worker frees up, so dispatch order
+(longest job first, chosen by the caller) bounds the makespan.
+
+Failure handling:
+
+* a task that raises inside the worker is a *soft* failure — reported
+  immediately, never retried (the exception is deterministic);
+* a worker that dies (segfault, ``os._exit``, OOM-kill) or exceeds the
+  per-task timeout is terminated and replaced, and its task is retried
+  exactly once on the fresh worker before being reported as failed.
+
+Workers are forked, so they inherit the parent's imports — no per-task
+import tax.  Results travel back as pickled payloads over one shared
+queue.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.obs.instruments import (
+    EXEC_QUEUE_DEPTH,
+    EXEC_TASKS,
+    EXEC_WORKER_RESTARTS,
+)
+
+
+class ExecPoolError(ReproError):
+    """The pool itself failed (not an individual task)."""
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """One unit of work: an id plus the argument handed to the fn."""
+
+    task_id: str
+    payload: Any = None
+
+
+@dataclass
+class PoolOutcome:
+    """Terminal state of one task."""
+
+    task_id: str
+    ok: bool
+    value: Any = None
+    error: str = ""
+    wall_s: float = 0.0
+    attempts: int = 1
+
+
+@dataclass
+class _Worker:
+    process: mp.process.BaseProcess
+    inbox: Any
+    current: PoolTask | None = None
+    attempt: int = 1
+    started_at: float = field(default_factory=time.monotonic)
+
+
+def _worker_main(fn: Callable[[Any], Any], inbox, results, worker_id: int) -> None:
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        task_id, payload, attempt = item
+        t0 = time.perf_counter()
+        try:
+            value = fn(payload)
+            results.put((worker_id, task_id, attempt, True, value, "",
+                         time.perf_counter() - t0))
+        except BaseException as exc:  # a task must never kill its worker
+            results.put((worker_id, task_id, attempt, False, None,
+                         f"{type(exc).__name__}: {exc}",
+                         time.perf_counter() - t0))
+
+
+class WorkerPool:
+    """Run tasks through ``jobs`` forked workers.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable executed in the worker per task payload.
+    jobs:
+        Worker count; the pool never spawns more workers than tasks.
+    timeout_s:
+        Per-task wall-clock budget before the worker is killed.
+    retries:
+        How many times a crashed/timed-out task is re-dispatched.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], jobs: int,
+                 timeout_s: float = 300.0, retries: int = 1,
+                 mp_context: str = "fork"):
+        if jobs < 1:
+            raise ExecPoolError(f"jobs must be >= 1, got {jobs}")
+        self.fn = fn
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self._ctx = mp.get_context(mp_context)
+
+    # -- serial fallback -------------------------------------------------------
+
+    def _run_inline(self, tasks: list[PoolTask]) -> dict[str, PoolOutcome]:
+        outcomes: dict[str, PoolOutcome] = {}
+        for i, task in enumerate(tasks):
+            EXEC_QUEUE_DEPTH.set(len(tasks) - i - 1)
+            t0 = time.perf_counter()
+            try:
+                value = self.fn(task.payload)
+                outcomes[task.task_id] = PoolOutcome(
+                    task.task_id, True, value=value,
+                    wall_s=time.perf_counter() - t0)
+                EXEC_TASKS.labels("ok").inc()
+            except Exception as exc:
+                outcomes[task.task_id] = PoolOutcome(
+                    task.task_id, False, error=f"{type(exc).__name__}: {exc}",
+                    wall_s=time.perf_counter() - t0)
+                EXEC_TASKS.labels("error").inc()
+        return outcomes
+
+    # -- parallel path ---------------------------------------------------------
+
+    def run(self, tasks: list[PoolTask]) -> dict[str, PoolOutcome]:
+        """Execute every task; outcomes are keyed by task id."""
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ExecPoolError("duplicate task ids in one batch")
+        if not tasks:
+            return {}
+        if self.jobs == 1 or len(tasks) == 1:
+            return self._run_inline(tasks)
+
+        results_q = self._ctx.Queue()
+        pending = list(tasks)  # dispatched from the front
+        outcomes: dict[str, PoolOutcome] = {}
+        workers: list[_Worker] = []
+        next_worker_id = 0
+
+        def spawn() -> _Worker:
+            nonlocal next_worker_id
+            inbox = self._ctx.Queue(maxsize=1)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self.fn, inbox, results_q, next_worker_id),
+                daemon=True,
+            )
+            next_worker_id += 1
+            proc.start()
+            worker = _Worker(process=proc, inbox=inbox)
+            workers.append(worker)
+            return worker
+
+        def dispatch(worker: _Worker, task: PoolTask, attempt: int) -> None:
+            worker.current = task
+            worker.attempt = attempt
+            worker.started_at = time.monotonic()
+            worker.inbox.put((task.task_id, task.payload, attempt))
+            EXEC_QUEUE_DEPTH.set(len(pending))
+
+        def fail_or_retry(worker: _Worker, kind: str) -> None:
+            """A worker died or overran: retry its task once, then fail."""
+            task, attempt = worker.current, worker.attempt
+            worker.current = None
+            if attempt <= self.retries:
+                EXEC_TASKS.labels("retry").inc()
+                replacement = spawn()
+                EXEC_WORKER_RESTARTS.inc()
+                dispatch(replacement, task, attempt + 1)
+            else:
+                EXEC_TASKS.labels(kind).inc()
+                outcomes[task.task_id] = PoolOutcome(
+                    task.task_id, False, attempts=attempt,
+                    error=f"worker {kind} after {attempt} attempt(s)")
+
+        try:
+            for _ in range(min(self.jobs, len(tasks))):
+                spawn()
+            for worker in workers:
+                if pending:
+                    dispatch(worker, pending.pop(0), attempt=1)
+
+            while len(outcomes) < len(tasks):
+                try:
+                    (wid, task_id, attempt, ok, value, error,
+                     wall_s) = results_q.get(timeout=0.05)
+                except queue_module.Empty:
+                    pass
+                else:
+                    for worker in workers:
+                        if (worker.current is not None
+                                and worker.current.task_id == task_id):
+                            worker.current = None
+                            break
+                    outcomes[task_id] = PoolOutcome(
+                        task_id, ok, value=value, error=error,
+                        wall_s=wall_s, attempts=attempt)
+                    EXEC_TASKS.labels("ok" if ok else "error").inc()
+
+                if not workers and pending:
+                    # Every worker died at once: restaff before stalling.
+                    dispatch(spawn(), pending.pop(0), attempt=1)
+
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.current is None:
+                        if pending and worker.process.is_alive():
+                            dispatch(worker, pending.pop(0), attempt=1)
+                        continue
+                    if not worker.process.is_alive():
+                        workers.remove(worker)
+                        fail_or_retry(worker, "crash")
+                    elif now - worker.started_at > self.timeout_s:
+                        worker.process.terminate()
+                        worker.process.join(timeout=5.0)
+                        workers.remove(worker)
+                        fail_or_retry(worker, "timeout")
+        finally:
+            EXEC_QUEUE_DEPTH.set(0)
+            for worker in workers:
+                if worker.process.is_alive():
+                    try:
+                        worker.inbox.put_nowait(None)
+                    except queue_module.Full:
+                        worker.process.terminate()
+            for worker in workers:
+                worker.process.join(timeout=5.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+            results_q.close()
+
+        return outcomes

@@ -1,0 +1,34 @@
+"""The experiment registry: specs collected from ``repro.experiments``.
+
+Each experiment module declares its own ``SPEC`` (the module knows its
+config, seed, and source dependencies); this module gathers them into
+the ordered table the engine, the report generator, and the CLI all
+share.  Registry order is report order — EXPERIMENTS.md's section
+sequence comes from here, never from task completion order.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentExecutionError
+from repro.exec.spec import ExperimentSpec
+from repro.experiments import ALL_EXPERIMENTS
+
+ALL_SPECS: dict[str, ExperimentSpec] = {
+    name: module.SPEC for name, module in ALL_EXPERIMENTS.items()
+}
+
+
+def get_spec(exp_id: str) -> ExperimentSpec:
+    spec = ALL_SPECS.get(exp_id)
+    if spec is None:
+        raise ExperimentExecutionError(
+            f"unknown experiment {exp_id!r}; "
+            f"registered: {', '.join(ALL_SPECS)}")
+    return spec
+
+
+def specs_for(exp_ids: list[str] | None = None) -> list[ExperimentSpec]:
+    """Specs in registry order; ``None`` selects every experiment."""
+    if exp_ids is None:
+        return list(ALL_SPECS.values())
+    return [get_spec(exp_id) for exp_id in exp_ids]

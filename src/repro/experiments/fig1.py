@@ -18,6 +18,7 @@ from repro.analysis.compare import (
     series_from_readings,
 )
 from repro.bgq.machine import BgqMachine
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceSeries
 from repro.workloads.mmps import MmpsWorkload
@@ -66,3 +67,32 @@ def main() -> None:  # pragma: no cover - CLI convenience
     print(f"idle shelf: {result.idle.idle_level:.0f} W, "
           f"job plateau: {result.idle.active_level:.0f} W, "
           f"idle visible: {result.idle.visible}")
+
+
+@dataclass(frozen=True)
+class Fig1Config:
+    seed: int = 0xF161
+    poll_interval_s: float = 240.0
+
+
+def render(result: Fig1Result) -> ExperimentReport:
+    """Figure 1's paper-vs-measured block."""
+    return ExperimentReport(
+        "Figure 1", "MMPS power at the bulk power modules",
+        "benchmarks/bench_fig1.py",
+        [
+            ("idle shelf", "~800 W, visible before/after job",
+             f"{result.idle.idle_level:.0f} W, visible={result.idle.visible}"),
+            ("job plateau", "~1600-1800 W", f"{result.idle.active_level:.0f} W"),
+            ("samples", "handful at ~4-5 min spacing",
+             f"{result.samples} at {result.poll_interval_s:.0f} s"),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="fig1", title="Figure 1 — MMPS power at the bulk power modules",
+    module="repro.experiments.fig1", config=Fig1Config(), seed=0xF161,
+    sources=("repro.bgq", "repro.workloads", "repro.store", "repro.host"),
+    cost_hint_s=0.13,
+)

@@ -18,6 +18,7 @@ from repro.bgq.machine import BgqMachine
 from repro.core.moneq.backends import BgqEmonBackend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqSession
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.experiments import fig1
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceSeries, TraceSet
@@ -94,3 +95,38 @@ def main() -> None:  # pragma: no cover - CLI convenience
     print(f"idle shelf visible: {result.idle_samples_present} (paper: no)")
     fig1_result = fig1.run()
     print(f"sample count vs Figure 1: {result.samples} vs {fig1_result.samples}")
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    seed: int = 0xF162
+    interval_s: float = 0.560
+    duration_s: float = 1500.0
+
+
+def render(result: Fig2Result) -> ExperimentReport:
+    """Figure 2's paper-vs-measured block."""
+    return ExperimentReport(
+        "Figure 2", "MMPS via MonEQ: 7 domains at 560 ms",
+        "benchmarks/bench_fig2.py",
+        [
+            ("domains", "7 (chip core largest)",
+             f"{len(result.domains)}; largest = "
+             f"{max(result.domains.names, key=lambda n: result.domains[n].mean())}"),
+            ("total vs BPM", "matches in total power",
+             f"{100 * result.agreement_with_bpm.relative_difference:.1f} % apart"),
+            ("idle period", "no longer visible",
+             f"visible={result.idle_samples_present}"),
+            ("data volume", "many more points than BPM",
+             f"{result.samples} samples"),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="fig2", title="Figure 2 — MMPS via MonEQ, 7 domains at 560 ms",
+    module="repro.experiments.fig2", config=Fig2Config(), seed=0xF162,
+    sources=("repro.bgq", "repro.core", "repro.workloads", "repro.store",
+             "repro.host", "repro.experiments.fig1"),
+    cost_hint_s=0.04,
+)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.moneq.backends import RaplMsrBackend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqSession
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.sim.trace import TraceSeries
 from repro.testbeds import rapl_node
 from repro.workloads.gaussian import GaussianEliminationWorkload
@@ -87,3 +88,34 @@ def main() -> None:  # pragma: no cover - CLI convenience
     print(f"  rhythmic drop  : {result.drop_depth_w:.1f} W every "
           f"{result.drop_period_s:.1f} s (paper: ~5 W)")
     print(f"  spikes between : +{result.spike_height_w:.1f} W")
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    seed: int = 0xF163
+    interval_s: float = 0.100
+
+
+def render(result: Fig3Result) -> ExperimentReport:
+    """Figure 3's paper-vs-measured block."""
+    return ExperimentReport(
+        "Figure 3", "RAPL package power of Gaussian elimination (100 ms)",
+        "benchmarks/bench_fig3.py",
+        [
+            ("idle shelf", "visible both ends",
+             f"head {result.idle_head_w:.1f} W / tail {result.idle_tail_w:.1f} W"),
+            ("plateau", "~45-50 W", f"{result.plateau_w:.1f} W"),
+            ("rhythmic drop", "~5 W", f"{result.drop_depth_w:.1f} W "
+             f"every {result.drop_period_s:.1f} s"),
+            ("tiny spikes", "between drops", f"+{result.spike_height_w:.1f} W"),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="fig3", title="Figure 3 — RAPL package power, Gaussian elimination",
+    module="repro.experiments.fig3", config=Fig3Config(), seed=0xF163,
+    sources=("repro.core", "repro.rapl", "repro.testbeds",
+             "repro.workloads", "repro.host"),
+    cost_hint_s=0.03,
+)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.moneq.backends import NvmlBackend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqSession
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.sim.trace import TraceSeries
 from repro.testbeds import gpu_node
 from repro.workloads.noop import GpuNoopWorkload
@@ -67,3 +68,30 @@ def main() -> None:  # pragma: no cover - CLI convenience
     print(f"  start : {result.start_w:.1f} W (paper: ~44-46 W)")
     print(f"  level : {result.level_w:.1f} W (paper: ~55 W)")
     print(f"  levels off after ~{result.time_to_level_s:.1f} s (paper: ~5 s)")
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    seed: int = 0xF164
+    interval_s: float = 0.100
+
+
+def render(result: Fig4Result) -> ExperimentReport:
+    """Figure 4's paper-vs-measured block."""
+    return ExperimentReport(
+        "Figure 4", "K20 NOOP power ramp (100 ms)", "benchmarks/bench_fig4.py",
+        [
+            ("start -> level", "~44-46 -> ~55 W",
+             f"{result.start_w:.1f} -> {result.level_w:.1f} W"),
+            ("ramp duration", "~5 s", f"{result.time_to_level_s:.1f} s"),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="fig4", title="Figure 4 — K20 NOOP power ramp",
+    module="repro.experiments.fig4", config=Fig4Config(), seed=0xF164,
+    sources=("repro.core", "repro.nvml", "repro.testbeds",
+             "repro.workloads", "repro.host"),
+    cost_hint_s=0.002,
+)

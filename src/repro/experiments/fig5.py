@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.moneq.backends import NvmlBackend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqSession
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.sim.trace import TraceSeries
 from repro.testbeds import gpu_node
 from repro.workloads.vectoradd import VectorAddWorkload
@@ -85,3 +86,34 @@ def main() -> None:  # pragma: no cover - CLI convenience
           f"{result.temp_end_c:.1f} C (paper: ~40 -> ~65 C)")
     print(f"  steady climb  : {100 * result.temp_monotone_fraction:.0f}% of "
           "compute-phase steps rising")
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    seed: int = 0xF165
+    interval_s: float = 0.100
+
+
+def render(result: Fig5Result) -> ExperimentReport:
+    """Figure 5's paper-vs-measured block."""
+    return ExperimentReport(
+        "Figure 5", "K20 vector-add power + temperature",
+        "benchmarks/bench_fig5.py",
+        [
+            ("first ~10 s", "GPU unloaded (host datagen)",
+             f"{result.datagen_mean_w:.1f} W"),
+            ("compute plateau", "~125-150 W", f"{result.compute_mean_w:.1f} W"),
+            ("temperature", "steady climb ~40 -> ~65 C",
+             f"{result.temp_start_c:.1f} -> {result.temp_end_c:.1f} C, "
+             f"{100 * result.temp_monotone_fraction:.0f} % rising"),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="fig5", title="Figure 5 — K20 vector-add power + temperature",
+    module="repro.experiments.fig5", config=Fig5Config(), seed=0xF165,
+    sources=("repro.core", "repro.nvml", "repro.testbeds",
+             "repro.workloads", "repro.host"),
+    cost_hint_s=0.006,
+)

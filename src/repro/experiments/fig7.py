@@ -21,6 +21,7 @@ from repro.analysis.stats import TTestResult, welch_ttest
 from repro.core.moneq.backends import PhiMicrasBackend, PhiSysMgmtBackend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqSession
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.testbeds import phi_node
 from repro.workloads.noop import PhiNoopWorkload
 
@@ -80,3 +81,31 @@ def main() -> None:  # pragma: no cover - CLI convenience
     print(f"  mean difference: {result.ttest.mean_difference:+.2f} W, "
           f"Welch p={result.ttest.pvalue:.2e} "
           f"(significant: {result.ttest.significant()})")
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    seed: int = 0xF167
+
+
+def render(result: Fig7Result) -> ExperimentReport:
+    """Figure 7's paper-vs-measured block."""
+    return ExperimentReport(
+        "Figure 7", "Phi power boxplot: SysMgmt API vs daemon",
+        "benchmarks/bench_fig7.py",
+        [
+            ("API median", "~115.5-117 W band", f"{result.api_box.median:.2f} W"),
+            ("daemon median", "~113-115 W band", f"{result.daemon_box.median:.2f} W"),
+            ("difference", "slight but statistically significant",
+             f"{result.ttest.mean_difference:+.2f} W, p={result.ttest.pvalue:.1e}"),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="fig7", title="Figure 7 — Phi power boxplot, API vs daemon",
+    module="repro.experiments.fig7", config=Fig7Config(), seed=0xF167,
+    sources=("repro.core", "repro.xeonphi", "repro.testbeds",
+             "repro.workloads", "repro.host"),
+    cost_hint_s=0.01,
+)

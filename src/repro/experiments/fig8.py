@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.sim.trace import TraceSeries
 from repro.testbeds import stampede_slice
 from repro.workloads.gaussian import OffloadGaussianWorkload
@@ -74,3 +75,35 @@ def main() -> None:  # pragma: no cover - CLI convenience
           "(paper: rises toward ~25 kW)")
     print(f"  computation begins at ~{result.compute_start_s:.0f} s "
           "(paper: shortly after 100 s)")
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    seed: int = 0xF168
+    cards: int = CARDS
+
+
+def render(result: Fig8Result) -> ExperimentReport:
+    """Figure 8's paper-vs-measured block."""
+    return ExperimentReport(
+        "Figure 8", "Sum power, Gaussian elimination on 128 Stampede Phis",
+        "benchmarks/bench_fig8.py",
+        [
+            ("datagen phase", "~first 100 s, low",
+             f"{result.datagen_mean_w / 1e3:.1f} kW"),
+            ("compute phase", "rises toward ~25 kW",
+             f"{result.compute_mean_w / 1e3:.1f} kW"),
+            ("transition", "visible where generation stops",
+             f"at {result.compute_start_s:.0f} s, "
+             f"{result.compute_mean_w / result.datagen_mean_w:.2f}x jump"),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="fig8", title="Figure 8 — sum power on 128 Stampede Phis",
+    module="repro.experiments.fig8", config=Fig8Config(), seed=0xF168,
+    sources=("repro.xeonphi", "repro.testbeds", "repro.workloads",
+             "repro.host"),
+    cost_hint_s=0.04,
+)

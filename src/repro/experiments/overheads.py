@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
 from repro.bgq.machine import BgqMachine
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.host.permissions import ROOT
 from repro.rapl.driver import read_msr_userspace
 from repro.rapl.msr import MSR_PKG_ENERGY_STATUS
@@ -105,3 +106,36 @@ def main() -> None:  # pragma: no cover - CLI convenience
         float_format="{:.3f}",
     ))
     print(f"\ncheapest-first: {result.ordering()}")
+
+
+@dataclass(frozen=True)
+class OverheadsConfig:
+    seed: int = 0x0EAD
+
+
+def render(result: OverheadsResult) -> ExperimentReport:
+    """The per-query overhead block (§II text)."""
+    paper_ms = {"bgq-emon": 1.10, "rapl-msr": 0.03, "nvml": 1.3,
+                "phi-sysmgmt": 14.2, "phi-micras": 0.04}
+    rows = [
+        (result.costs[key].mechanism, f"{paper_ms[key]} ms",
+         f"{1000 * result.costs[key].per_query_s:.3f} ms")
+        for key in paper_ms
+    ]
+    rows.append(("duty overheads", "BG/Q 0.19 %, NVML 1.25 %, Phi API ~14 %",
+                 f"BG/Q {result.costs['bgq-emon'].overhead_percent:.2f} %, "
+                 f"NVML {result.costs['nvml'].overhead_percent:.2f} %, "
+                 f"Phi API {result.costs['phi-sysmgmt'].overhead_percent:.1f} %"))
+    return ExperimentReport(
+        "§II text", "Per-query collection overheads",
+        "benchmarks/bench_overheads.py", rows,
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="overheads", title="§II — per-query collection overheads",
+    module="repro.experiments.overheads", config=OverheadsConfig(), seed=0x0EAD,
+    sources=("repro.bgq", "repro.rapl", "repro.nvml", "repro.xeonphi",
+             "repro.testbeds", "repro.host", "repro.store"),
+    cost_hint_s=0.01,
+)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.sim.sensor import CounterSensor
 from repro.sim.signals import ConstantSignal
 from repro.units import RAPL_ENERGY_UNIT_J
@@ -77,3 +78,33 @@ def main() -> None:  # pragma: no cover - CLI convenience
     ))
     print(f"\nmax safe interval in sweep: {result.max_safe_interval():.0f} s "
           "(paper: 'more than about 60 seconds ... erroneous')")
+
+
+@dataclass(frozen=True)
+class OverflowConfig:
+    intervals: tuple[float, ...] = INTERVALS_S
+
+
+def render(result: OverflowResult) -> ExperimentReport:
+    """The RAPL-overflow block (§II-B text)."""
+    bad = [p for p in result.points if p.interval_s >= 70.0]
+    return ExperimentReport(
+        "§II-B text", "RAPL counter overflow past ~60 s sampling",
+        "benchmarks/bench_rapl_overflow.py",
+        [
+            ("wrap period @1 kW", "'about 60 seconds'",
+             f"{result.wrap_period_s:.1f} s"),
+            ("<= 65 s sampling", "accurate", "max error "
+             f"{max(p.relative_error for p in result.points if p.interval_s <= 65.0):.2%}"),
+            (">= 70 s sampling", "erroneous data",
+             "errors " + ", ".join(f"{p.relative_error:.0%}" for p in bad)),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="rapl_overflow", title="§II-B — RAPL counter overflow",
+    module="repro.experiments.rapl_overflow", config=OverflowConfig(), seed=0,
+    sources=("repro.rapl", "repro.units"),
+    cost_hint_s=0.02,
+)

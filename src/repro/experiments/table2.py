@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.rapl.domains import RAPL_DOMAIN_TABLE
 from repro.rapl.msr import ENERGY_STATUS_MSR
 from repro.rapl.package import SANDY_BRIDGE, CpuPackage
@@ -46,3 +47,23 @@ def main() -> None:  # pragma: no cover - CLI convenience
     print(f"\nEnergy-status MSRs: "
           f"{ {k: hex(v) for k, v in result.msr_addresses.items()} }")
     print(f"Counters responding: {result.live_counters}")
+
+
+def render(result: Table2Result) -> ExperimentReport:
+    """Table II's paper-vs-measured block."""
+    return ExperimentReport(
+        "Table II", "Available RAPL sensors", "benchmarks/bench_table2.py",
+        [
+            ("domains", "PKG, PP0, PP1, DRAM",
+             ", ".join(r[0] for r in result.rows)),
+            ("counters live", "(implied)", str(all(result.live_counters.values()))),
+        ],
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="table2", title="Table II — available RAPL sensors",
+    module="repro.experiments.table2", config=None, seed=0,
+    sources=("repro.rapl", "repro.host"),
+    cost_hint_s=0.003,
+)

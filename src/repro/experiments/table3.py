@@ -30,6 +30,7 @@ from repro.core.moneq.backends import BgqEmonBackend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.overhead import OverheadReport
 from repro.core.moneq.session import MoneqSession
+from repro.exec.spec import ExperimentReport, ExperimentSpec
 from repro.sim.rng import RngRegistry
 from repro.workloads.toy import TABLE3_RUNTIME_S, FixedRuntimeToyWorkload
 
@@ -80,3 +81,53 @@ def main() -> None:  # pragma: no cover - CLI convenience
     pct = result.reports[1024].percent_of_runtime
     print(f"\nTotal overhead at 1024 nodes: {pct:.2f}% of runtime "
           f"(paper: ~0.4%)")
+
+
+@dataclass(frozen=True)
+class Table3Config:
+    """Spec config; one part per node scale shards the heavy run."""
+
+    seed: int = 0x7AB1E3
+
+
+def run_part(part: str, config: Table3Config) -> dict:
+    """One scale's overhead report, as a cacheable payload."""
+    report = run_scale(int(part), seed=config.seed)
+    return {
+        "rows": report.as_table_row(),
+        "percent_of_runtime": report.percent_of_runtime,
+    }
+
+
+def render_block(parts: dict[str, dict]) -> ExperimentReport:
+    """Merge the per-scale parts into Table III's block."""
+    paper = {
+        "Application Runtime": (202.78, 202.73, 202.74),
+        "Time for Initialization": (0.0027, 0.0032, 0.0033),
+        "Time for Finalize": (0.1510, 0.1550, 0.3347),
+        "Time for Collection": (0.3871, 0.3871, 0.3871),
+        "Total Time for MonEQ": (0.5409, 0.5455, 0.7251),
+    }
+    rows = []
+    for name, paper_vals in paper.items():
+        rows.append((
+            name,
+            " / ".join(f"{v:.4f}" for v in paper_vals),
+            " / ".join(f"{parts[str(n)]['rows'][name]:.4f}" for n in SCALES),
+        ))
+    rows.append(("total overhead @1K", "~0.4 % of runtime",
+                 f"{parts['1024']['percent_of_runtime']:.2f} %"))
+    return ExperimentReport(
+        "Table III", "MonEQ time overhead on Mira (32/512/1024 nodes, s)",
+        "benchmarks/bench_table3.py", rows,
+    )
+
+
+SPEC = ExperimentSpec(
+    exp_id="table3", title="Table III — MonEQ time overhead on Mira",
+    module="repro.experiments.table3", config=Table3Config(), seed=0x7AB1E3,
+    sources=("repro.bgq", "repro.core", "repro.workloads", "repro.store",
+             "repro.host"),
+    parts=("1024", "512", "32"),
+    cost_hint_s=0.16,
+)

@@ -193,6 +193,35 @@ LAUNCHER_ERRORS = _REGISTRY.counter(
 )
 
 
+# -- Experiment execution engine --------------------------------------------
+
+EXEC_TASKS = _REGISTRY.counter(
+    "repro_exec_tasks_total",
+    "Experiment tasks finished by the execution engine, by status "
+    "(ok, error, retry, crash, timeout)",
+    labels=("status",),
+)
+EXEC_QUEUE_DEPTH = _REGISTRY.gauge(
+    "repro_exec_queue_depth",
+    "Experiment tasks still waiting for a worker",
+)
+EXEC_TASK_SECONDS = _REGISTRY.histogram(
+    "repro_exec_task_seconds",
+    "Per-task wall time, by experiment",
+    buckets=(1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0),
+    labels=("experiment",),
+)
+EXEC_CACHE = _REGISTRY.counter(
+    "repro_exec_cache_total",
+    "Result-cache events (hit, miss, store, evict_corrupt)",
+    labels=("event",),
+)
+EXEC_WORKER_RESTARTS = _REGISTRY.counter(
+    "repro_exec_worker_restarts_total",
+    "Workers replaced after a crash or task timeout",
+)
+
+
 class CollectorInstrument:
     """Pre-bound handles for one mechanism's hot path.
 

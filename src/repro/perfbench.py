@@ -159,19 +159,21 @@ def bench_launcher_fanin(size: int = 4096, nbytes: int = 64) -> dict:
 
 
 def bench_launcher_mmps(ranks: int = 2, messages_per_rank: int = 2000) -> dict:
-    """bench_runtime_perf's messaging bench under both schedulers.  At
-    2 ranks the heap buys little — this guards the small-n regression
-    case (the heap must not be meaningfully *slower* than the scan)."""
+    """bench_runtime_perf's messaging bench: the shipping scheduler
+    (``"auto"``) against the always-linear reference.  At 2 ranks the
+    heap's push/pop bookkeeping used to *lose* to the two-line scan;
+    ``auto`` guards that small-n regression by resolving to the scan
+    below :data:`repro.runtime.launcher.AUTO_HEAP_MIN_RANKS` ranks."""
     import gc
 
-    for scheduler in ("heap", "linear"):  # warm caches out of the timing
+    for scheduler in ("auto", "linear"):  # warm caches out of the timing
         run_mmps(ranks=ranks, messages_per_rank=50, scheduler=scheduler)
     gc.collect()  # don't bill a prior bench's garbage to this one
     # Best-of-3: at ~20 ms a run, single samples are noise-dominated.
-    wall_heap, result = min(
+    wall_auto, result = min(
         (_wall(lambda: run_mmps(ranks=ranks,
                                 messages_per_rank=messages_per_rank,
-                                scheduler="heap"))
+                                scheduler="auto"))
          for _ in range(3)), key=lambda pair: pair[0])
     wall_linear, reference = min(
         (_wall(lambda: run_mmps(ranks=ranks,
@@ -181,8 +183,8 @@ def bench_launcher_mmps(ranks: int = 2, messages_per_rank: int = 2000) -> dict:
     if result.elapsed_s != reference.elapsed_s:
         raise AssertionError("schedulers produced different virtual timings")
     return {
-        "wall_s": wall_heap,
-        "speedup_vs_scalar": wall_linear / wall_heap,
+        "wall_s": wall_auto,
+        "speedup_vs_scalar": wall_linear / wall_auto,
         "linear_wall_s": wall_linear,
         "achieved_rate_per_rank": result.achieved_rate_per_rank,
     }
@@ -195,6 +197,40 @@ ALL_BENCHES: dict[str, Callable[[], dict]] = {
     "launcher_fanin_4096": bench_launcher_fanin,
     "launcher_mmps": bench_launcher_mmps,
 }
+
+#: Relative slack allowed when re-measuring a committed speedup.  Wide
+#: because these are single-shot wall-clock measurements on shared
+#: machines; the check is for *regressions* (an optimization undone),
+#: not run-to-run jitter.
+CHECK_TOLERANCE = 0.30
+
+
+def check(json_path: str = "BENCH_moneq.json",
+          tolerance: float = CHECK_TOLERANCE,
+          ) -> tuple[list[str], dict[str, dict]]:
+    """Re-run every bench and compare against the committed trajectory.
+
+    Returns ``(failures, fresh_results)`` where each failure names a
+    bench whose fresh ``speedup_vs_scalar`` fell more than ``tolerance``
+    below the committed value (or that disappeared from the suite).
+    The committed file is never rewritten by a check.
+    """
+    with open(json_path, encoding="utf-8") as fh:
+        committed = json.load(fh)
+    results = run(json_path=None)
+    failures: list[str] = []
+    for name, entry in committed.items():
+        fresh = results.get(name)
+        if fresh is None:
+            failures.append(f"{name}: in {json_path} but no longer benched")
+            continue
+        floor = entry["speedup_vs_scalar"] * (1.0 - tolerance)
+        if fresh["speedup_vs_scalar"] < floor:
+            failures.append(
+                f"{name}: speedup {fresh['speedup_vs_scalar']:.3f}x fell "
+                f"below {floor:.3f}x (committed "
+                f"{entry['speedup_vs_scalar']:.3f}x - {tolerance:.0%})")
+    return failures, results
 
 
 def run(json_path: str | None = "BENCH_moneq.json") -> dict[str, dict]:

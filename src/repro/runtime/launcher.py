@@ -15,15 +15,21 @@ Semantics:
 * if every unfinished rank is blocked, :class:`DeadlockError` names the
   blocked ranks, their local times, and what they wait on.
 
-Two schedulers produce that identical order.  The default ``"heap"``
-scheduler keeps runnable ranks in a (time, rank) heap — a rank leaves
-the heap when it blocks and is pushed back by the send or collective
-completion that unblocks it, so each scheduling decision is O(log n)
-instead of an O(n) rescan.  ANY_SOURCE receives use a per-(dest, tag)
-heap over the *heads* of the per-source message queues (heads only:
-within one queue arrivals are not sorted, because transfer time depends
-on message size).  The ``"linear"`` scheduler is the original full-scan
-reference, kept for equivalence tests and benchmarks.
+Two schedulers produce that identical order.  The ``"heap"`` scheduler
+keeps runnable ranks in a (time, rank) heap — a rank leaves the heap
+when it blocks and is pushed back by the send or collective completion
+that unblocks it, so each scheduling decision is O(log n) instead of an
+O(n) rescan.  ANY_SOURCE receives use a per-(dest, tag) heap over the
+*heads* of the per-source message queues (heads only: within one queue
+arrivals are not sorted, because transfer time depends on message
+size).  The ``"linear"`` scheduler is the original full-scan reference,
+kept for equivalence tests and benchmarks.
+
+The default ``"auto"`` picks per run: below
+:data:`AUTO_HEAP_MIN_RANKS` ranks the linear scan's two-line inner loop
+beats the heap's push/pop bookkeeping (measured on the MMPS exchange,
+where lockstep time advance defeats the heap's run-ahead fast path),
+so small jobs take ``"linear"`` and large jobs take ``"heap"``.
 """
 
 from __future__ import annotations
@@ -57,6 +63,14 @@ from repro.runtime.ops import (
 
 #: Fixed software cost of posting/completing a receive.
 RECV_OVERHEAD_S = 0.3e-6
+
+#: ``scheduler="auto"`` crossover: jobs with at least this many ranks
+#: use the heap, smaller ones the linear scan.  Measured on the MMPS
+#: pairwise exchange (the heap's worst case — every rank advances in
+#: lockstep): linear wins up to ~16 ranks, the heap from ~32 on, and
+#: the gap to the heap's best case only widens with size (a 4096-rank
+#: ANY_SOURCE fan-in runs ~30x faster under the heap).
+AUTO_HEAP_MIN_RANKS = 32
 
 
 @dataclass(frozen=True)
@@ -122,24 +136,34 @@ class Launcher:
     interconnect:
         Cost model; defaults to the BG/Q torus.
     scheduler:
-        ``"heap"`` (default) or ``"linear"``; both produce the same
-        deterministic schedule (see the module docstring).
+        ``"auto"`` (default), ``"heap"``, or ``"linear"``; all produce
+        the same deterministic schedule (see the module docstring).
+        ``"auto"`` resolves by job size against
+        :data:`AUTO_HEAP_MIN_RANKS`; the choice is exposed as
+        ``effective_scheduler``.
     """
 
     def __init__(self, rank_fn: Callable[[RankContext], Any], size: int,
                  interconnect: Interconnect = BGQ_TORUS,
-                 record_busy: bool = False, scheduler: str = "heap"):
+                 record_busy: bool = False, scheduler: str = "auto"):
         if size <= 0:
             raise RuntimeSimError(f"size must be positive, got {size}")
-        if scheduler not in ("heap", "linear"):
+        if scheduler not in ("auto", "heap", "linear"):
             raise RuntimeSimError(
-                f"scheduler must be 'heap' or 'linear', got {scheduler!r}"
+                f"scheduler must be 'auto', 'heap', or 'linear', "
+                f"got {scheduler!r}"
             )
         self.rank_fn = rank_fn
         self.size = size
         self.net = interconnect
         self.record_busy = record_busy
         self.scheduler = scheduler
+        if scheduler == "auto":
+            self.effective_scheduler = (
+                "heap" if size >= AUTO_HEAP_MIN_RANKS else "linear")
+        else:
+            self.effective_scheduler = scheduler
+        self._heap_mode = self.effective_scheduler == "heap"
         self._ranks: list[_RankState] = []
         #: (dest, source, tag) -> deque of (arrival_time, payload)
         self._mailboxes: dict[tuple[int, int, int], deque] = {}
@@ -163,10 +187,11 @@ class Launcher:
         for rank in range(self.size):
             gen = self._as_generator(self.rank_fn, RankContext(rank, self.size))
             self._ranks.append(_RankState(generator=gen, rank=rank))
-        heap_mode = self.scheduler == "heap"
+        heap_mode = self._heap_mode
         if heap_mode:
             for state in self._ranks:
                 self._push_runnable(state)
+        runnable = self._runnable
         while True:
             state = self._pop_runnable() if heap_mode else self._pick_runnable()
             if state is None:
@@ -174,7 +199,21 @@ class Launcher:
                     break
                 self._raise_deadlock()
             self._step(state)
-            if heap_mode and not state.finished \
+            if not heap_mode:
+                continue
+            # Fast path: while this rank stays runnable, unqueued, and
+            # strictly ahead of every queued rank, keep stepping it
+            # without a push/pop round trip.  Every other runnable rank
+            # is in the heap (sends and collective completions push
+            # their wakeups), so beating the heap top *is* winning the
+            # global (time, rank) ordering — at few ranks this removes
+            # nearly all heap traffic.
+            while (not state.finished and state.blocked_on is None
+                   and state.in_collective is None and not state.queued
+                   and (not runnable
+                        or (state.time, state.rank) < runnable[0])):
+                self._step(state)
+            if not state.finished \
                     and state.in_collective is None and state.blocked_on is None:
                 self._push_runnable(state)
         # Scheduling telemetry lands once per run, off the hot loop.
@@ -278,7 +317,7 @@ class Launcher:
         queue.append((arrival, op.payload))
         state.sent += 1
         dest_state = self._ranks[op.dest]
-        if (self.scheduler == "heap"
+        if (self._heap_mode
                 and dest_state.blocked_on is not None
                 and dest_state.blocked_on.tag == op.tag
                 and dest_state.blocked_on.source in (rank, ANY_SOURCE)):
@@ -362,7 +401,7 @@ class Launcher:
             self.size, nbytes
         )
         results = self._collective_results(key, gate, members)
-        heap_mode = self.scheduler == "heap"
+        heap_mode = self._heap_mode
         for state, result in zip(members, results):
             state.time = exit_time
             state.in_collective = None

@@ -39,7 +39,7 @@ class MmpsResult:
 def run_mmps(ranks: int = 2, messages_per_rank: int = 1000,
              message_bytes: int = 32,
              interconnect: Interconnect = BGQ_TORUS,
-             scheduler: str = "heap") -> MmpsResult:
+             scheduler: str = "auto") -> MmpsResult:
     """The messaging-rate benchmark: every rank streams messages to its
     XOR-partner, then drains its inbox; the achieved per-rank rate is
     messages / elapsed."""

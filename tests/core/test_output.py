@@ -1,0 +1,78 @@
+"""MonEQ output rendering.
+
+``render_agent_file`` is finalize's hot loop; it was rewritten from
+row-at-a-time f-string formatting to columnar %-formatting, and the
+contract is byte-identity with the original — including the float64
+corner cases (``-0.0``, ``inf``, ``nan``) where a format change would
+show first.
+"""
+
+import numpy as np
+
+from repro.core.moneq.output import (
+    parse_agent_file,
+    render_agent_file,
+    sanitize_label,
+)
+
+FIELDS = ["node_w", "dram_w", "core_w"]
+
+
+def _records(n, seed=11):
+    rng = np.random.default_rng(seed)
+    dtype = [("time_s", "f8")] + [(f, "f8") for f in FIELDS]
+    records = np.zeros(n, dtype=dtype)
+    records["time_s"] = np.sort(rng.uniform(0.0, 600.0, n))
+    for f in FIELDS:
+        records[f] = rng.uniform(-5.0, 900.0, n)
+    return records
+
+
+def _reference_render(label, platform, fields, records, markers):
+    """The original row-at-a-time implementation, kept as the oracle."""
+    lines = [
+        f"# MonEQ output: agent={label} platform={platform}",
+        f"# records={len(records)} fields={len(fields)}",
+        "# time_s " + " ".join(fields),
+    ]
+    for row in records:
+        values = " ".join(f"{row[name]:.6f}" for name in fields)
+        lines.append(f"{row['time_s']:.6f} {values}")
+    lines.extend(marker for _, marker in markers)
+    return "\n".join(lines) + "\n"
+
+
+class TestRenderByteIdentity:
+    def test_matches_reference_implementation(self):
+        records = _records(500)
+        markers = [(10.0, "#TAG_open loop"), (20.0, "#TAG_close loop")]
+        assert render_agent_file("a0", "bgq", FIELDS, records, markers) == \
+            _reference_render("a0", "bgq", FIELDS, records, markers)
+
+    def test_float64_corner_values(self):
+        records = _records(4)
+        records[FIELDS[0]][0] = -0.0
+        records[FIELDS[1]][1] = np.inf
+        records[FIELDS[2]][2] = -np.inf
+        records[FIELDS[0]][3] = np.nan
+        assert render_agent_file("a0", "rapl", FIELDS, records, []) == \
+            _reference_render("a0", "rapl", FIELDS, records, [])
+
+    def test_empty_records(self):
+        assert render_agent_file("a0", "nvml", FIELDS, _records(0), []) == \
+            _reference_render("a0", "nvml", FIELDS, _records(0), [])
+
+
+class TestRoundtrip:
+    def test_parse_inverts_render(self):
+        records = _records(50)
+        content = render_agent_file(
+            "a0", "bgq", FIELDS, records, [(1.0, "#TAG_open x")])
+        fields, table, markers = parse_agent_file(content)
+        assert fields == FIELDS
+        assert table.shape == (50, len(FIELDS) + 1)
+        np.testing.assert_allclose(table[:, 0], records["time_s"], atol=5e-7)
+        assert markers == ["#TAG_open x"]
+
+    def test_sanitize_label(self):
+        assert sanitize_label("bgq/emon:0") == "bgq_emon_0"

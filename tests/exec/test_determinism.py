@@ -1,0 +1,74 @@
+"""The engine's core contract: report bytes never depend on how it ran.
+
+Worker count, cache state, and completion order are execution details;
+the rendered markdown and the per-task payload digests must be
+identical across all of them.  These run the full 13-experiment report
+a few times — the cold passes cost ~half a second each.
+"""
+
+import pytest
+
+from repro.exec.engine import Engine
+from repro.experiments import report
+
+
+def _digests(engine):
+    return dict(engine.stats.digests)
+
+
+class TestWorkerCountIndependence:
+    def test_report_bytes_jobs1_vs_jobs8(self):
+        md_serial = report.generate_markdown(jobs=1, cache=False)
+        md_parallel = report.generate_markdown(jobs=8, cache=False)
+        assert md_serial == md_parallel
+
+    def test_payload_digests_jobs1_vs_jobs4(self):
+        serial = Engine(jobs=1, cache=False)
+        serial.run()
+        pooled = Engine(jobs=4, cache=False)
+        pooled.run()
+        assert _digests(serial) == _digests(pooled)
+        assert len(_digests(serial)) == 15  # 12 single-part + 3 table3 shards
+
+
+class TestCacheStateIndependence:
+    def test_warm_cache_serves_identical_bytes(self, tmp_path):
+        root = tmp_path / "cache"
+        md_cold = report.generate_markdown(jobs=2, cache=True, cache_root=root)
+        md_warm = report.generate_markdown(jobs=2, cache=True, cache_root=root)
+        assert md_cold == md_warm
+
+        # And the warm pass really was served from the cache.
+        engine = Engine(jobs=1, cache=True, cache_root=root)
+        engine.run()
+        assert engine.stats.cache_misses == 0
+        assert engine.stats.cache_hits == 15
+        assert engine.stats.executed == 0
+
+    def test_cached_digests_match_fresh(self, tmp_path):
+        root = tmp_path / "cache"
+        cold = Engine(jobs=1, cache=True, cache_root=root)
+        cold.run()
+        warm = Engine(jobs=1, cache=True, cache_root=root)
+        warm.run()
+        assert _digests(cold) == _digests(warm)
+
+    def test_disabled_cache_writes_nothing(self, tmp_path):
+        root = tmp_path / "cache"
+        engine = Engine(jobs=1, cache=False, cache_root=root)
+        engine.run(["table1"])
+        assert not root.exists()
+
+
+class TestFailureSurface:
+    def test_unknown_experiment_names_registry(self):
+        from repro.errors import ExperimentExecutionError
+
+        with pytest.raises(ExperimentExecutionError, match="fig99"):
+            Engine(jobs=1, cache=False).run(["fig99"])
+
+    def test_jobs_validated(self):
+        from repro.errors import ExperimentExecutionError
+
+        with pytest.raises(ExperimentExecutionError, match="jobs"):
+            Engine(jobs=0)

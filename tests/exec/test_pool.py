@@ -1,0 +1,126 @@
+"""The worker pool's failure semantics.
+
+Soft failures (a task raising) are deterministic and fail immediately;
+hard failures (worker death, per-task timeout) get the worker replaced
+and the task retried exactly once.  Crashes are simulated with
+``os._exit`` (no Python cleanup, like a segfault) and first-attempt
+markers on disk so the retry can succeed.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec.pool import ExecPoolError, PoolTask, WorkerPool
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _fail_on_odd(payload):
+    if payload % 2:
+        raise ValueError(f"odd payload {payload}")
+    return payload
+
+
+def _crash_once(marker_path):
+    """Die hard on the first attempt, succeed on the retry."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as fh:
+            fh.write("attempt 1\n")
+        os._exit(17)
+    return "recovered"
+
+
+def _crash_always(_payload):
+    os._exit(17)
+
+
+def _hang_once(marker_path):
+    """Overrun the task budget on the first attempt only."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as fh:
+            fh.write("attempt 1\n")
+        time.sleep(60.0)
+    return "timely"
+
+
+class TestHappyPath:
+    def test_all_results_keyed_by_task_id(self):
+        pool = WorkerPool(_square, jobs=3)
+        tasks = [PoolTask(f"t{i}", i) for i in range(8)]
+        outcomes = pool.run(tasks)
+        assert sorted(outcomes) == sorted(t.task_id for t in tasks)
+        for i in range(8):
+            assert outcomes[f"t{i}"].ok
+            assert outcomes[f"t{i}"].value == i * i
+            assert outcomes[f"t{i}"].attempts == 1
+
+    def test_single_job_runs_inline(self):
+        outcomes = WorkerPool(_square, jobs=1).run([PoolTask("a", 3)])
+        assert outcomes["a"].value == 9
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ExecPoolError, match="duplicate"):
+            WorkerPool(_square, jobs=2).run([PoolTask("a", 1), PoolTask("a", 2)])
+
+    def test_jobs_validated(self):
+        with pytest.raises(ExecPoolError, match="jobs"):
+            WorkerPool(_square, jobs=0)
+
+
+class TestSoftFailure:
+    def test_task_exception_fails_immediately(self):
+        """A raising task is deterministic: no retry, full error text,
+        and the other tasks of the batch still complete."""
+        pool = WorkerPool(_fail_on_odd, jobs=2)
+        outcomes = pool.run([PoolTask("even", 2), PoolTask("odd", 3)])
+        assert outcomes["even"].ok and outcomes["even"].value == 2
+        assert not outcomes["odd"].ok
+        assert "ValueError" in outcomes["odd"].error
+        assert outcomes["odd"].attempts == 1
+
+
+class TestHardFailure:
+    def test_crashed_worker_replaced_and_task_retried(self, tmp_path):
+        marker = tmp_path / "crash.marker"
+        pool = WorkerPool(_crash_once, jobs=2)
+        outcomes = pool.run([PoolTask("crasher", str(marker)),
+                             PoolTask("bystander", str(tmp_path / "other"))])
+        assert outcomes["crasher"].ok
+        assert outcomes["crasher"].value == "recovered"
+        assert outcomes["crasher"].attempts == 2
+        assert marker.exists()
+
+    def test_crash_after_retry_is_reported_not_raised(self, tmp_path):
+        pool = WorkerPool(_crash_always, jobs=2, retries=1)
+        outcomes = pool.run([PoolTask("doomed", None), PoolTask("fine", None)])
+        assert not outcomes["doomed"].ok
+        assert "crash" in outcomes["doomed"].error
+        assert outcomes["doomed"].attempts == 2
+        # _crash_always kills the bystander's worker too; both fail,
+        # but the pool itself survives and reports every task.
+        assert sorted(outcomes) == ["doomed", "fine"]
+
+    def test_timed_out_worker_killed_and_task_retried(self, tmp_path):
+        marker = tmp_path / "hang.marker"
+        pool = WorkerPool(_hang_once, jobs=2, timeout_s=0.5)
+        outcomes = pool.run([PoolTask("hanger", str(marker)),
+                             PoolTask("other", str(tmp_path / "o"))])
+        assert outcomes["hanger"].ok
+        assert outcomes["hanger"].value == "timely"
+        assert outcomes["hanger"].attempts == 2
+
+
+@pytest.mark.tier1
+def test_smoke_experiment_through_pool():
+    """Tier-1 smoke: a real (tiny) registered experiment through the
+    forked pool, rendered to the same block the serial path produces."""
+    from repro.exec.engine import Engine
+
+    serial = Engine(jobs=1, cache=False).run(["table1", "fig6"])
+    pooled = Engine(jobs=2, cache=False).run(["table1", "fig6"])
+    assert pooled == serial
+    assert pooled["table1"].rows

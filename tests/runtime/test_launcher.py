@@ -355,3 +355,47 @@ class TestHeapScheduler:
         launcher = Launcher(program, size=4)
         assert [r.value for r in launcher.run()] == \
                [r.value for r in launcher.run()]
+
+
+class TestAutoScheduler:
+    """``scheduler="auto"`` resolves to the linear scan below the
+    measured crossover and to the heap at or above it — same schedule
+    either way."""
+
+    def test_resolution_by_size(self):
+        from repro.runtime.launcher import AUTO_HEAP_MIN_RANKS
+
+        def program(ctx):
+            return ctx.rank
+            yield
+
+        small = Launcher(program, size=AUTO_HEAP_MIN_RANKS - 1)
+        large = Launcher(program, size=AUTO_HEAP_MIN_RANKS)
+        assert small.scheduler == "auto"  # the default
+        assert small.effective_scheduler == "linear"
+        assert large.effective_scheduler == "heap"
+
+    def test_explicit_choice_not_overridden(self):
+        def program(ctx):
+            return ctx.rank
+            yield
+
+        assert Launcher(program, size=2,
+                        scheduler="heap").effective_scheduler == "heap"
+        assert Launcher(program, size=4096,
+                        scheduler="linear").effective_scheduler == "linear"
+
+    def test_auto_matches_both_references(self):
+        def program(ctx):
+            peer = ctx.rank ^ 1
+            yield Send(dest=peer, payload=ctx.rank, tag=0, nbytes=64)
+            got = yield Recv(source=peer, tag=0)
+            yield Barrier()
+            return got
+
+        outcomes = [
+            [(r.value, r.finish_time) for r in
+             Launcher(program, size=8, scheduler=scheduler).run()]
+            for scheduler in ("auto", "heap", "linear")
+        ]
+        assert outcomes[0] == outcomes[1] == outcomes[2]
