@@ -19,12 +19,17 @@
     python -m repro obs dump [target..] # run exercises, dump metrics+spans
     python -m repro store bench [racks [shards [interval_s]]]
                                         # exercise the sharded envdb store
-    python -m repro bench perf [json_path] [--check]
+    python -m repro bench perf [json_path] [--check] [--smoke]
                                         # wall-clock hot-path benches ->
                                         # BENCH_moneq.json perf baseline
                                         # (--check: compare against the
                                         # committed file, exit 1 on
-                                        # regression, write nothing)
+                                        # regression, write nothing;
+                                        # --smoke: reduced CI profile,
+                                        # absolute floors, never writes)
+    python -m repro mech list           # the declared mechanism registry
+                                        # (channel, latency, min interval,
+                                        # capabilities per vendor path)
 """
 
 from __future__ import annotations
@@ -144,15 +149,20 @@ def _bench_command(args: list[str]) -> int:
     from repro.analysis.tables import format_table
 
     if not args or args[0] != "perf":
-        print("usage: python -m repro bench perf [json_path] [--check]",
-              file=sys.stderr)
+        print("usage: python -m repro bench perf [json_path] "
+              "[--check] [--smoke]", file=sys.stderr)
         return 2
     checking = "--check" in args
-    positional = [a for a in args[1:] if a != "--check"]
+    smoke = "--smoke" in args
+    positional = [a for a in args[1:] if a not in ("--check", "--smoke")]
     json_path = positional[0] if positional else "BENCH_moneq.json"
 
     if checking:
-        failures, results = perfbench.check(json_path)
+        failures, results = perfbench.check(json_path, smoke=smoke)
+    elif smoke:
+        # Smoke sizes never overwrite the full-profile trajectory file.
+        failures, results = [], perfbench.run(None,
+                                              benches=perfbench.SMOKE_BENCHES)
     else:
         failures, results = [], perfbench.run(json_path)
     rows = []
@@ -164,8 +174,14 @@ def _bench_command(args: list[str]) -> int:
         )
         rows.append((name, f"{r['wall_s'] * 1e3:.1f} ms",
                      f"{r['speedup_vs_scalar']:.1f}x", detail))
-    title = (f"[repro bench perf] checked against {json_path}" if checking
-             else f"[repro bench perf] wrote {json_path}")
+    if checking and smoke:
+        title = "[repro bench perf] smoke profile vs absolute floors"
+    elif checking:
+        title = f"[repro bench perf] checked against {json_path}"
+    elif smoke:
+        title = "[repro bench perf] smoke profile (nothing written)"
+    else:
+        title = f"[repro bench perf] wrote {json_path}"
     print(format_table(("bench", "wall", "vs scalar", "detail"), rows,
                        title=title))
     if not results["moneq_block"]["byte_identical"]:
@@ -176,6 +192,39 @@ def _bench_command(args: list[str]) -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _mech_command(args: list[str]) -> int:
+    """``repro mech list`` — print the declared mechanism registry: one
+    row per vendor path with its channel, charged latency per read, the
+    freshness-derived minimum interval, and the capability count."""
+    import repro.core.moneq.backends  # noqa: F401  (registers the fleet)
+    from repro.analysis.tables import format_table
+    from repro.mech import mechanisms
+
+    if not args or args[0] != "list":
+        print("usage: python -m repro mech list", file=sys.stderr)
+        return 2
+    rows = []
+    for spec in mechanisms().values():
+        rows.append((
+            spec.name,
+            spec.platform,
+            spec.channel.name,
+            f"{spec.read_latency_s * 1e3:.2f} ms"
+            + (f" ({spec.queries_per_read}q)"
+               if spec.queries_per_read > 1 else ""),
+            f"{spec.min_interval_s * 1e3:.0f} ms",
+            str(spec.capability.capability_count),
+            str(len(spec.fields)),
+        ))
+    print(format_table(
+        ("mechanism", "platform", "channel", "latency/read",
+         "min interval", "caps", "fields"),
+        rows,
+        title=f"[repro mech list] {len(rows)} declared vendor paths",
+    ))
     return 0
 
 
@@ -308,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
         return _store_command(args[1:])
     if command == "bench":
         return _bench_command(args[1:])
+    if command == "mech":
+        return _mech_command(args[1:])
     if command == "exec":
         return _exec_command(args[1:])
     if command == "report":

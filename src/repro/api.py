@@ -53,6 +53,15 @@ from repro.exec import (
     ExperimentSpec,
     ResultCache,
 )
+from repro.mech import (
+    AccessChannel,
+    CapabilityDecl,
+    FreshnessModel,
+    MechanismSpec,
+    SensorSource,
+    mechanisms,
+)
+from repro.mech.mechanism import Mechanism
 from repro.store import (
     Aggregate,
     FlushReport,
@@ -76,6 +85,14 @@ __all__ = [
     "MoneqConfig",
     "MoneqSession",
     "MoneqResult",
+    # mechanism layer — vendor paths as declared compositions
+    "Mechanism",
+    "MechanismSpec",
+    "AccessChannel",
+    "FreshnessModel",
+    "CapabilityDecl",
+    "SensorSource",
+    "mechanisms",
     # environmental data plane
     "EnvironmentalDatabase",
     "EnvRecord",

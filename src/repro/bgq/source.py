@@ -1,0 +1,41 @@
+"""The BG/Q sensor source: EMON's 7-domain node-card view, columnar."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bgq.domains import BGQ_DOMAINS
+from repro.bgq.emon import EmonInterface
+from repro.mech.source import SensorSource
+
+#: Output field names in column order: one watt column per EMON domain
+#: plus the node-card total MonEQ computes.
+EMON_FIELDS: tuple[str, ...] = tuple(
+    f"{spec.domain.value}_w" for spec in BGQ_DOMAINS
+) + ("node_card_w",)
+
+
+class EmonSource(SensorSource):
+    """One node board's EMON domains as power columns.
+
+    ``node_card_w`` accumulates in domain order, like the scalar
+    ``sum()`` the original backend used — the byte-identity oracle
+    notices any other order.
+    """
+
+    def __init__(self, emon: EmonInterface):
+        self.emon = emon
+
+    def fields(self) -> tuple[str, ...]:
+        return EMON_FIELDS
+
+    def collect(self, times: np.ndarray) -> dict[str, np.ndarray]:
+        powers = self.emon.collect_block(times)
+        columns: dict[str, np.ndarray] = {}
+        total = np.zeros(times.shape[0])
+        for spec in BGQ_DOMAINS:
+            column = powers[spec.domain]
+            columns[f"{spec.domain.value}_w"] = column
+            total = total + column
+        columns["node_card_w"] = total
+        return columns

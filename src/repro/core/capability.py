@@ -2,18 +2,22 @@
 
 Table I compares what each platform can report, across five categories
 (total power breakdown, temperature, main memory, processor, fans) plus
-power limits.  Here the matrix is **derived from the simulators**: each
-platform adapter declares which data points its mechanism exposes, and
-the table renderer lays them out exactly as the paper does.  The
-benchmark then checks the paper's headline claims against the derived
-matrix ("just about the only data point which is collectible on all of
-these platforms is total power consumption").
+power limits.  The matrix is **derived**, not hand-maintained: each
+platform's column is declared once as a
+:class:`~repro.mech.capability_decl.CapabilityDecl` in the mechanism
+layer, and this module turns those declarations into the
+:class:`PlatformCapabilities` the table renderer lays out exactly as
+the paper does.  The benchmark then checks the paper's headline claims
+against the derived matrix ("just about the only data point which is
+collectible on all of these platforms is total power consumption").
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+from repro.mech.capability_decl import PLATFORM_DECLS, CapabilityDecl
 
 
 class Availability(enum.Enum):
@@ -95,96 +99,40 @@ def _keys(*pairs: tuple[str, str]) -> frozenset[str]:
 
 
 # ---------------------------------------------------------------------------
-# Platform declarations.  Each mirrors what its simulator actually
-# exposes; the unit tests cross-check notable cells against the
-# simulator APIs (e.g. NVML has no voltage query; EMON has V and I).
+# Platform columns, derived from the mechanism layer's declarations.
+# Each declaration mirrors what its simulator actually exposes; the
+# unit tests cross-check notable cells against the simulator APIs
+# (e.g. NVML has no voltage query; EMON has V and I).
 # ---------------------------------------------------------------------------
 
-XEON_PHI_CAPABILITIES = PlatformCapabilities(
-    platform="Xeon Phi",
-    available=_keys(
-        ("Total Power Consumption (Watts)", "Total"),
-        ("Total Power Consumption (Watts)", "Voltage"),
-        ("Total Power Consumption (Watts)", "Current"),
-        ("Total Power Consumption (Watts)", "PCI Express"),
-        ("Total Power Consumption (Watts)", "Main Memory"),
-        ("Temperature", "Die"),
-        ("Temperature", "DDR/GDDR"),
-        ("Temperature", "Device"),
-        ("Temperature", "Intake (Fan-In)"),
-        ("Temperature", "Exhaust (Fan-Out)"),
-        ("Main Memory", "Used"),
-        ("Main Memory", "Free"),
-        ("Main Memory", "Speed (kT/sec)"),
-        ("Main Memory", "Frequency"),
-        ("Main Memory", "Voltage"),
-        ("Main Memory", "Clock Rate"),
-        ("Processor", "Voltage"),
-        ("Processor", "Frequency"),
-        ("Processor", "Clock Rate"),
-        ("Fans", "Speed (In RPM)"),
-        ("Limits", "Get/Set Power Limit"),
-    ),
-)
 
-NVML_CAPABILITIES = PlatformCapabilities(
-    platform="NVML",
-    available=_keys(
-        ("Total Power Consumption (Watts)", "Total"),  # whole board only
-        ("Temperature", "Die"),
-        ("Temperature", "Device"),
-        ("Main Memory", "Used"),
-        ("Main Memory", "Free"),
-        ("Main Memory", "Frequency"),
-        ("Main Memory", "Clock Rate"),
-        ("Processor", "Frequency"),
-        ("Processor", "Clock Rate"),
-        ("Fans", "Speed (In RPM)"),
-        ("Limits", "Get/Set Power Limit"),
-    ),
-)
+def derive_capabilities(decl: CapabilityDecl) -> PlatformCapabilities:
+    """One Table I column from its mechanism-layer declaration."""
+    return PlatformCapabilities(
+        platform=decl.platform,
+        available=_keys(*decl.available),
+        not_applicable=_keys(*decl.not_applicable),
+    )
 
-BGQ_CAPABILITIES = PlatformCapabilities(
-    platform="Blue Gene/Q",
-    available=_keys(
-        ("Total Power Consumption (Watts)", "Total"),
-        ("Total Power Consumption (Watts)", "Voltage"),
-        ("Total Power Consumption (Watts)", "Current"),
-        ("Total Power Consumption (Watts)", "PCI Express"),
-        ("Total Power Consumption (Watts)", "Main Memory"),
-        ("Main Memory", "Voltage"),
-        ("Processor", "Voltage"),
-    ),
-    # Water-cooled node boards: no airflow sensors at the device level.
-    not_applicable=_keys(
-        ("Temperature", "Intake (Fan-In)"),
-        ("Temperature", "Exhaust (Fan-Out)"),
-        ("Fans", "Speed (In RPM)"),
-    ),
-)
-
-RAPL_CAPABILITIES = PlatformCapabilities(
-    platform="RAPL",
-    available=_keys(
-        ("Total Power Consumption (Watts)", "Total"),  # socket scope
-        ("Total Power Consumption (Watts)", "Main Memory"),  # DRAM domain
-        ("Limits", "Get/Set Power Limit"),
-    ),
-    # A socket has no PCIe rail of its own nor airflow sensors.
-    not_applicable=_keys(
-        ("Total Power Consumption (Watts)", "PCI Express"),
-        ("Temperature", "Intake (Fan-In)"),
-        ("Temperature", "Exhaust (Fan-Out)"),
-        ("Fans", "Speed (In RPM)"),
-    ),
-)
 
 _PLATFORMS = {
-    "Xeon Phi": XEON_PHI_CAPABILITIES,
-    "NVML": NVML_CAPABILITIES,
-    "Blue Gene/Q": BGQ_CAPABILITIES,
-    "RAPL": RAPL_CAPABILITIES,
+    name: derive_capabilities(decl) for name, decl in PLATFORM_DECLS.items()
 }
+
+XEON_PHI_CAPABILITIES = _PLATFORMS["Xeon Phi"]
+NVML_CAPABILITIES = _PLATFORMS["NVML"]
+BGQ_CAPABILITIES = _PLATFORMS["Blue Gene/Q"]
+RAPL_CAPABILITIES = _PLATFORMS["RAPL"]
+
+
+def platform_capabilities(platform: str) -> PlatformCapabilities:
+    """One platform's Table I column, by name."""
+    capabilities = _PLATFORMS.get(platform)
+    if capabilities is None:
+        raise KeyError(
+            f"unknown platform {platform!r}; have {sorted(_PLATFORMS)}"
+        )
+    return capabilities
 
 
 def capability_matrix() -> dict[str, PlatformCapabilities]:

@@ -15,6 +15,8 @@ import abc
 import numpy as np
 
 from repro.core.capability import PlatformCapabilities
+from repro.mech.source import empty_block
+from repro.obs.instruments import CollectorInstrument, collector
 from repro.store.reading import Reading
 
 
@@ -38,6 +40,13 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def query_latency_s(self) -> float:
         """Cost of one collection call on this mechanism."""
+
+    @property
+    def instrument(self) -> CollectorInstrument:
+        """The shared ``repro_collector_*`` handle session hot paths
+        record against.  Mechanism compositions resolve this through
+        their access channel; the base keys it by mechanism name."""
+        return collector(self.mechanism)
 
     @abc.abstractmethod
     def fields(self) -> list[str]:
@@ -69,8 +78,7 @@ class Backend(abc.ABC):
         files byte-identical to scalar ticking.
         """
         times = np.asarray(times, dtype=np.float64)
-        out = np.zeros(times.shape[0],
-                       dtype=[(name, "f8") for name in self.fields()])
+        out = empty_block(self.fields(), times.shape[0])
         for i in range(times.shape[0]):
             row = self.read_at(float(times[i]))
             for name, value in row.items():

@@ -1,7 +1,15 @@
-"""The concrete MonEQ backends (four platforms; RAPL and the Phi have
-multiple access paths).
+"""The concrete MonEQ backends: eight declared vendor paths.
 
-Minimum polling intervals follow the paper:
+Each backend is a thin :class:`~repro.mech.mechanism.Mechanism`
+composition — a registered :class:`~repro.mech.registry.MechanismSpec`
+(access channel + freshness model + capability declaration + field
+list) bound to a :class:`~repro.mech.source.SensorSource` wrapping the
+live device.  The scalar ``read_at`` and vectorized ``read_block`` are
+generic, implemented once at the mechanism layer with parity guaranteed
+there; nothing below declares a read body.
+
+Minimum polling intervals follow the paper, derived by each spec's
+freshness model:
 
 * BG/Q EMON: 560 ms (two sensor generations) at 1.10 ms/query = 0.19 %;
 * RAPL via MSR: 60 ms — faster reads hit the documented update jitter,
@@ -13,133 +21,210 @@ Minimum polling intervals follow the paper:
 * Phi MICRAS daemon: 50 ms (SMC refresh) at 0.04 ms/query;
 * Phi out-of-band (BMC over IPMB): free for host and card, but 22 ms
   per sensor exchange and milli-unit wire quantization.
-
-Every backend implements a native vectorized :meth:`Backend.read_block`
-that is bit-identical to looping ``read_at`` over the same grid — the
-contract the block-sampling engine's byte-identical-output guarantee
-rests on.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.bgq.domains import BGQ_DOMAINS
-from repro.bgq.emon import EMON_QUERY_LATENCY_S, EmonInterface
-from repro.core.capability import (
-    BGQ_CAPABILITIES,
-    NVML_CAPABILITIES,
-    PlatformCapabilities,
-    RAPL_CAPABILITIES,
-    XEON_PHI_CAPABILITIES,
+from repro.bgq.emon import (
+    EMON_QUERY_LATENCY_S,
+    GENERATION_PERIOD_S,
+    EmonInterface,
 )
-from repro.core.moneq.backend import Backend
-from repro.errors import ConfigError
-from repro.obs.instruments import RAPL_WRAP_CORRECTIONS
+from repro.bgq.source import EMON_FIELDS, EmonSource
+from repro.errors import ConfigError, DriverNotLoadedError
+from repro.mech.capability_decl import (
+    BGQ_DECL,
+    NVML_DECL,
+    RAPL_DECL,
+    XEON_PHI_DECL,
+)
+from repro.mech.channel import MILLI_UNITS, AccessChannel
+from repro.mech.freshness import FreshnessModel
+from repro.mech.mechanism import Mechanism
+from repro.mech.registry import MechanismSpec, register
 from repro.nvml.device import GpuDevice
+from repro.nvml.source import NVML_FIELDS, NvmlSource
 from repro.rapl.domains import RaplDomain
 from repro.rapl.package import CpuPackage
 from repro.rapl.perf_event import (
-    PERF_ENERGY_UNIT_J,
     PERF_RAPL_EVENTS,
     PERF_READ_LATENCY_S,
     PerfEventRapl,
 )
+from repro.rapl.sources import (
+    RAPL_FIELDS,
+    MsrCounterSource,
+    PerfCounterSource,
+    PowercapCounterSource,
+)
 from repro.xeonphi.ipmb import (
     IPMB_EXCHANGE_LATENCY_S,
     BaseboardManagementController,
-    quantize_block,
-    quantize_reading,
 )
 from repro.xeonphi.micras import MICRAS_READ_LATENCY_S, MicrasDaemon
+from repro.xeonphi.sources import (
+    IPMB_SENSORS,
+    MICRAS_SENSORS,
+    SYSMGMT_SENSORS,
+    SmcSensorSource,
+)
 from repro.xeonphi.sysmgmt import SYSMGMT_QUERY_LATENCY_S, SysMgmtApi
 
+# ---------------------------------------------------------------------------
+# The declarations.  Everything MonEQ (and Table II) needs to know about
+# a vendor path is here; the classes below only bind live devices.
+# ---------------------------------------------------------------------------
 
-def _empty_block(fields: list[str], n: int) -> np.ndarray:
-    """A zeroed structured block with one f8 column per field."""
-    return np.zeros(n, dtype=[(name, "f8") for name in fields])
+#: RAPL's freshness floor is shared by all three access paths — same
+#: counters, same documented update jitter underneath.
+_RAPL_FRESHNESS = FreshnessModel.floor(
+    0.060, note="documented update jitter below 60 ms; ~60 s wraps the counter"
+)
+
+EMON_SPEC = register(MechanismSpec(
+    name="emon",
+    platform="Blue Gene/Q",
+    channel=AccessChannel(
+        "emon-api", EMON_QUERY_LATENCY_S,
+        description="in-band EMON personality call, all 7 domains at once",
+    ),
+    freshness=FreshnessModel.generations(
+        GENERATION_PERIOD_S, 2,
+        note="data comes from the oldest of two sensor generations",
+    ),
+    capability=BGQ_DECL,
+    fields=EMON_FIELDS,
+    summary="7-domain node-card V*I via the EMON API",
+))
+
+RAPL_MSR_SPEC = register(MechanismSpec(
+    name="rapl_msr",
+    platform="RAPL",
+    channel=AccessChannel(
+        "msr-chardev", CpuPackage.MSR_READ_LATENCY_S,
+        permission="chmod on /dev/cpu/*/msr",
+        description="pread of the energy-status MSR, one per domain",
+    ),
+    freshness=_RAPL_FRESHNESS,
+    capability=RAPL_DECL,
+    fields=RAPL_FIELDS,
+    queries_per_read=len(RaplDomain),
+    summary="socket energy counters via direct MSR reads",
+))
+
+RAPL_POWERCAP_SPEC = register(MechanismSpec(
+    name="rapl_powercap",
+    platform="RAPL",
+    channel=AccessChannel(
+        "powercap-sysfs", 0.05e-3,
+        description="sysfs energy_uj open+read+parse, one per zone; "
+                    "needs kernel >= 3.13 with intel_rapl loaded",
+    ),
+    freshness=_RAPL_FRESHNESS,
+    capability=RAPL_DECL,
+    fields=RAPL_FIELDS,
+    queries_per_read=len(RaplDomain),
+    summary="the same counters through the powercap sysfs tree",
+))
+
+RAPL_PERF_SPEC = register(MechanismSpec(
+    name="rapl_perf",
+    platform="RAPL",
+    channel=AccessChannel(
+        "perf-syscall", PERF_READ_LATENCY_S,
+        description="perf_event read syscall per power/energy-* event; "
+                    "needs kernel >= 3.14",
+    ),
+    freshness=_RAPL_FRESHNESS,
+    capability=RAPL_DECL,
+    fields=tuple(f"{d.value}_w" for d in PERF_RAPL_EVENTS.values()),
+    queries_per_read=len(PERF_RAPL_EVENTS),
+    summary="the same counters normalized to 2^-32 J by perf",
+))
+
+NVML_SPEC = register(MechanismSpec(
+    name="nvml",
+    platform="NVML",
+    channel=AccessChannel(
+        "nvml-library", 1.3e-3,
+        description="NVML library call covering board power + die temp",
+    ),
+    freshness=FreshnessModel.refresh(
+        0.060, note="board power register refreshes every ~60 ms",
+    ),
+    capability=NVML_DECL,
+    fields=NVML_FIELDS,
+    summary="Kepler board power and die temperature via NVML",
+))
+
+SYSMGMT_SPEC = register(MechanismSpec(
+    name="sysmgmt",
+    platform="Xeon Phi",
+    channel=AccessChannel(
+        "scif-sysmgmt", SYSMGMT_QUERY_LATENCY_S,
+        description="in-band SCIF round trip waking the card per query",
+    ),
+    freshness=FreshnessModel.floor(
+        0.100, note="documented floor of the in-band management path",
+    ),
+    capability=XEON_PHI_DECL,
+    fields=tuple(name for name, _ in SYSMGMT_SENSORS),
+    summary="in-band SysMgmt API; expensive and power-perturbing",
+))
+
+MICRAS_SPEC = register(MechanismSpec(
+    name="micras",
+    platform="Xeon Phi",
+    channel=AccessChannel(
+        "micras-pseudofile", MICRAS_READ_LATENCY_S,
+        description="device-side /sys/class/micras read, one per sensor",
+    ),
+    freshness=FreshnessModel.refresh(
+        0.050, note="SMC register refresh period",
+    ),
+    capability=XEON_PHI_DECL,
+    fields=tuple(name for name, _ in MICRAS_SENSORS),
+    queries_per_read=len(MICRAS_SENSORS),
+    summary="MICRAS daemon pseudo-files; cheap but contends on-card",
+))
+
+IPMB_SPEC = register(MechanismSpec(
+    name="ipmb",
+    platform="Xeon Phi",
+    channel=AccessChannel(
+        "bmc-ipmb", IPMB_EXCHANGE_LATENCY_S,
+        quantization=MILLI_UNITS,
+        description="BMC-to-SMC bus exchange per sensor; costs host and "
+                    "card nothing, values milli-unit quantized on the wire",
+    ),
+    freshness=FreshnessModel.floor(
+        0.100, note="documented floor of the out-of-band path",
+    ),
+    capability=XEON_PHI_DECL,
+    fields=tuple(name for name, _ in IPMB_SENSORS),
+    queries_per_read=len(IPMB_SENSORS),
+    summary="out-of-band BMC polling over IPMB",
+))
+
+# ---------------------------------------------------------------------------
+# The compositions: historical constructor signatures, no read bodies.
+# ---------------------------------------------------------------------------
 
 
-def _consecutive_deltas(
-    times: np.ndarray, raws: np.ndarray, prev: tuple[float, int] | None,
-    modulus: int,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, tuple[float, int]]:
-    """Vectorized consecutive-read differencing for counter backends.
-
-    Mirrors the scalar loop bit for bit: each row differences against
-    the preceding row (or the carried-over ``prev`` state for row 0),
-    and negative deltas get the single-wrap correction.  Returns
-    ``(delta, dt, fresh, wrap_count, new_prev)`` where ``fresh`` marks
-    rows without a usable predecessor (the scalar path's 0.0 rows; their
-    ``dt`` is pinned to 1.0 so callers can divide unconditionally).
-    """
-    n = times.shape[0]
-    prev_t = np.empty(n, dtype=np.float64)
-    prev_raw = np.empty(n, dtype=np.int64)
-    prev_t[1:] = times[:-1]
-    prev_raw[1:] = raws[:-1]
-    if prev is None:
-        prev_t[0] = np.inf  # forces the scalar path's "no predecessor" row
-        prev_raw[0] = 0
-    else:
-        prev_t[0], prev_raw[0] = prev
-    fresh = times <= prev_t
-    delta = raws - prev_raw
-    wrapped = (delta < 0) & ~fresh
-    delta = delta + wrapped * modulus
-    dt = times - prev_t
-    dt[fresh] = 1.0
-    return (delta, dt, fresh, int(np.count_nonzero(wrapped)),
-            (float(times[-1]), int(raws[-1])))
-
-
-class BgqEmonBackend(Backend):
+class BgqEmonBackend(Mechanism):
     """The 7-domain EMON view of one node card (32 nodes)."""
 
-    platform = "Blue Gene/Q"
-    mechanism = "emon"
-    MIN_INTERVAL_S = 0.560
+    platform = EMON_SPEC.platform
+    mechanism = EMON_SPEC.name
+    MIN_INTERVAL_S = EMON_SPEC.min_interval_s
 
     def __init__(self, emon: EmonInterface):
+        super().__init__(EMON_SPEC, EmonSource(emon),
+                         label=emon.node_board.location)
         self.emon = emon
-        self.label = emon.node_board.location
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        return EMON_QUERY_LATENCY_S
-
-    def fields(self) -> list[str]:
-        names = [spec.domain.value for spec in BGQ_DOMAINS]
-        return [f"{n}_w" for n in names] + ["node_card_w"]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        readings = self.emon.collect_at(t)
-        row = {f"{r.domain.value}_w": r.power_w for r in readings}
-        row["node_card_w"] = sum(r.power_w for r in readings)
-        return row
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        times = np.asarray(times, dtype=np.float64)
-        out = _empty_block(self.fields(), times.shape[0])
-        powers = self.emon.collect_block(times)
-        # node_card_w accumulates in domain order, like the scalar sum().
-        total = np.zeros(times.shape[0])
-        for spec in BGQ_DOMAINS:
-            column = powers[spec.domain]
-            out[f"{spec.domain.value}_w"] = column
-            total = total + column
-        out["node_card_w"] = total
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return BGQ_CAPABILITIES
 
 
-class RaplMsrBackend(Backend):
+class RaplMsrBackend(Mechanism):
     """Socket-level RAPL via direct MSR reads.
 
     Power per domain is computed from energy-counter deltas between
@@ -148,66 +233,16 @@ class RaplMsrBackend(Backend):
     warns about.
     """
 
-    platform = "RAPL"
-    mechanism = "rapl_msr"
-    MIN_INTERVAL_S = 0.060
+    platform = RAPL_MSR_SPEC.platform
+    mechanism = RAPL_MSR_SPEC.name
+    MIN_INTERVAL_S = RAPL_MSR_SPEC.min_interval_s
 
     def __init__(self, package: CpuPackage, label: str = "socket0"):
+        super().__init__(RAPL_MSR_SPEC, MsrCounterSource(package), label=label)
         self.package = package
-        self.label = label
-        self._last: dict[RaplDomain, tuple[float, int]] = {}
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        # One MSR read per domain.
-        return CpuPackage.MSR_READ_LATENCY_S * len(RaplDomain)
-
-    def fields(self) -> list[str]:
-        return [f"{d.value}_w" for d in RaplDomain]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        row: dict[str, float] = {}
-        for domain in RaplDomain:
-            raw = self.package.energy_raw(domain, t)
-            prev = self._last.get(domain)
-            if prev is None or t <= prev[0]:
-                row[f"{domain.value}_w"] = 0.0
-            else:
-                delta = raw - prev[1]
-                if delta < 0:
-                    delta += 1 << 32
-                    RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc()
-                joules = delta * self.package.units.energy_j
-                row[f"{domain.value}_w"] = joules / (t - prev[0])
-            self._last[domain] = (t, raw)
-        return row
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        times = np.asarray(times, dtype=np.float64)
-        out = _empty_block(self.fields(), times.shape[0])
-        if times.shape[0] == 0:
-            return out
-        for domain in RaplDomain:
-            raws = self.package.energy_raw_block(domain, times)
-            delta, dt, fresh, wraps, self._last[domain] = _consecutive_deltas(
-                times, raws, self._last.get(domain), 1 << 32
-            )
-            if wraps:
-                RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc(wraps)
-            power = (delta * self.package.units.energy_j) / dt
-            power[fresh] = 0.0
-            out[f"{domain.value}_w"] = power
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return RAPL_CAPABILITIES
 
 
-class RaplPowercapBackend(Backend):
+class RaplPowercapBackend(Mechanism):
     """Socket RAPL via the powercap sysfs tree (``energy_uj`` files).
 
     Functionally equivalent to :class:`RaplMsrBackend` — same counters
@@ -216,188 +251,67 @@ class RaplPowercapBackend(Backend):
     kernels >= 3.13 with the ``intel_rapl`` module loaded.
     """
 
-    platform = "RAPL"
-    mechanism = "rapl_powercap"
-    MIN_INTERVAL_S = 0.060
+    platform = RAPL_POWERCAP_SPEC.platform
+    mechanism = RAPL_POWERCAP_SPEC.name
+    MIN_INTERVAL_S = RAPL_POWERCAP_SPEC.min_interval_s
     #: Modeled sysfs open+read+parse cost per file.
-    SYSFS_READ_LATENCY_S = 0.05e-3
-
-    #: Zone suffix per domain (package zone plus three subzones).
-    _ZONE_SUFFIX = {
-        RaplDomain.PKG: "",
-        RaplDomain.PP0: ":0",
-        RaplDomain.PP1: ":1",
-        RaplDomain.DRAM: ":2",
-    }
+    SYSFS_READ_LATENCY_S = RAPL_POWERCAP_SPEC.channel.per_query_latency_s
 
     def __init__(self, node, package_index: int = 0, label: str | None = None):
-        from repro.errors import DriverNotLoadedError
-
         if not node.kernel.is_loaded("intel_rapl"):
             raise DriverNotLoadedError(
                 "powercap backend needs modprobe('intel_rapl') first"
             )
+        packages = node.devices("cpu")
+        if package_index >= len(packages):
+            raise ConfigError(
+                f"node {node.hostname} has {len(packages)} CPU package(s); "
+                f"no powercap zone {package_index}"
+            )
+        super().__init__(
+            RAPL_POWERCAP_SPEC, PowercapCounterSource(packages[package_index]),
+            label=label if label is not None else (
+                f"{node.hostname}-powercap{package_index}"
+            ),
+        )
         self.node = node
         self.base = f"/sys/class/powercap/intel-rapl:{package_index}"
-        self.label = label if label is not None else (
-            f"{node.hostname}-powercap{package_index}"
-        )
-        # The package behind this zone: the block path reads its counters
-        # directly (energy_uj files render at the *current* clock, which
-        # is wrong for lookahead sampling).
-        packages = node.devices("cpu")
-        self._package = (packages[package_index]
-                         if package_index < len(packages) else None)
-        self._last: dict[RaplDomain, tuple[float, int]] = {}
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        return self.SYSFS_READ_LATENCY_S * len(RaplDomain)
-
-    def fields(self) -> list[str]:
-        return [f"{d.value}_w" for d in RaplDomain]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        # energy_uj files render at the node clock's *current* time; the
-        # session samples at tick time, so pin the clock view by reading
-        # through the provider at the right instant (ticks fire at t).
-        row: dict[str, float] = {}
-        for domain in RaplDomain:
-            text = self.node.vfs.read_text(
-                f"{self.base}{self._ZONE_SUFFIX[domain]}/energy_uj"
-            )
-            micro_j = int(text.strip())
-            prev = self._last.get(domain)
-            if prev is None or t <= prev[0]:
-                row[f"{domain.value}_w"] = 0.0
-            else:
-                delta = micro_j - prev[1]
-                if delta < 0:  # counter wrap, single-wrap correction
-                    delta += int((1 << 32) * 2.0 ** -16 * 1e6)
-                    RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc()
-                row[f"{domain.value}_w"] = delta / 1e6 / (t - prev[0])
-            self._last[domain] = (t, micro_j)
-        return row
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        if self._package is None:  # pragma: no cover - defensive
-            return super().read_block(times)
-        times = np.asarray(times, dtype=np.float64)
-        out = _empty_block(self.fields(), times.shape[0])
-        if times.shape[0] == 0:
-            return out
-        for domain in RaplDomain:
-            # The driver's energy_uj provider, applied at each tick time
-            # instead of the current clock: int(raw * energy_j * 1e6).
-            raws = self._package.energy_raw_block(domain, times)
-            micro_j = np.floor(
-                raws * self._package.units.energy_j * 1e6
-            ).astype(np.int64)
-            delta, dt, fresh, wraps, self._last[domain] = _consecutive_deltas(
-                times, micro_j, self._last.get(domain),
-                int((1 << 32) * 2.0 ** -16 * 1e6),
-            )
-            if wraps:
-                RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc(wraps)
-            power = (delta / 1e6) / dt
-            power[fresh] = 0.0
-            out[f"{domain.value}_w"] = power
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return RAPL_CAPABILITIES
 
 
-class NvmlBackend(Backend):
+class NvmlBackend(Mechanism):
     """Board power + temperature of one Kepler GPU."""
 
-    platform = "NVML"
-    mechanism = "nvml"
-    MIN_INTERVAL_S = 0.060
+    platform = NVML_SPEC.platform
+    mechanism = NVML_SPEC.name
+    MIN_INTERVAL_S = NVML_SPEC.min_interval_s
 
     def __init__(self, gpu: GpuDevice, query_latency_s: float = 1.3e-3):
         if not gpu.model.supports_power_readings:
             raise ConfigError(
                 f"{gpu.model.name} is pre-Kepler: NVML exposes no power data"
             )
+        super().__init__(
+            NVML_SPEC, NvmlSource(gpu),
+            label=f"{gpu.model.name}#{gpu.index}",
+            channel=NVML_SPEC.channel.with_latency(query_latency_s),
+        )
         self.gpu = gpu
-        self.label = f"{gpu.model.name}#{gpu.index}"
-        self._query_latency_s = query_latency_s
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        return self._query_latency_s
-
-    def fields(self) -> list[str]:
-        return ["board_w", "die_temp_c"]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        return {
-            "board_w": float(self.gpu.power_sensor.read(t)),
-            "die_temp_c": float(self.gpu.temperature_c(t)),
-        }
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        times = np.asarray(times, dtype=np.float64)
-        out = _empty_block(self.fields(), times.shape[0])
-        out["board_w"] = self.gpu.power_sensor.read(times)
-        out["die_temp_c"] = self.gpu.temperature_c(times)
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return NVML_CAPABILITIES
 
 
-class PhiSysMgmtBackend(Backend):
+class PhiSysMgmtBackend(Mechanism):
     """In-band (SysMgmt API) view of one Phi card — expensive and
     power-perturbing, per the paper."""
 
-    platform = "Xeon Phi"
-    mechanism = "sysmgmt"
-    MIN_INTERVAL_S = 0.100
+    platform = SYSMGMT_SPEC.platform
+    mechanism = SYSMGMT_SPEC.name
+    MIN_INTERVAL_S = SYSMGMT_SPEC.min_interval_s
 
     def __init__(self, api: SysMgmtApi):
+        super().__init__(
+            SYSMGMT_SPEC, SmcSensorSource(api.smc, SYSMGMT_SENSORS),
+            label=f"mic{api.card.mic_index}",
+        )
         self.api = api
-        self.label = f"mic{api.card.mic_index}"
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        return SYSMGMT_QUERY_LATENCY_S
-
-    def fields(self) -> list[str]:
-        return ["card_w", "die_temp_c", "exhaust_temp_c"]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        smc = self.api.smc
-        return {
-            "card_w": smc.read_sensor("power_w", t),
-            "die_temp_c": smc.read_sensor("die_temp_c", t),
-            "exhaust_temp_c": smc.read_sensor("exhaust_temp_c", t),
-        }
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        times = np.asarray(times, dtype=np.float64)
-        smc = self.api.smc
-        out = _empty_block(self.fields(), times.shape[0])
-        out["card_w"] = smc.read_sensor_block("power_w", times)
-        out["die_temp_c"] = smc.read_sensor_block("die_temp_c", times)
-        out["exhaust_temp_c"] = smc.read_sensor_block("exhaust_temp_c", times)
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return XEON_PHI_CAPABILITIES
 
     def on_session_start(self, t: float, interval_s: float) -> None:
         self.api.start_polling(interval_s, t)
@@ -406,50 +320,23 @@ class PhiSysMgmtBackend(Backend):
         self.api.stop_polling(t)
 
 
-class PhiMicrasBackend(Backend):
+class PhiMicrasBackend(Mechanism):
     """Device-side MICRAS pseudo-file view of one Phi card — cheap, but
     the read contends with the application on the card."""
 
-    platform = "Xeon Phi"
-    mechanism = "micras"
-    MIN_INTERVAL_S = 0.050
+    platform = MICRAS_SPEC.platform
+    mechanism = MICRAS_SPEC.name
+    MIN_INTERVAL_S = MICRAS_SPEC.min_interval_s
 
     def __init__(self, daemon: MicrasDaemon):
+        super().__init__(
+            MICRAS_SPEC, SmcSensorSource(daemon.smc, MICRAS_SENSORS),
+            label=f"mic{daemon.card.mic_index}-daemon",
+        )
         self.daemon = daemon
-        self.label = f"mic{daemon.card.mic_index}-daemon"
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        # power + die temp reads.
-        return 2 * MICRAS_READ_LATENCY_S
-
-    def fields(self) -> list[str]:
-        return ["card_w", "die_temp_c"]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        smc = self.daemon.smc
-        return {
-            "card_w": smc.read_sensor("power_w", t),
-            "die_temp_c": smc.read_sensor("die_temp_c", t),
-        }
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        times = np.asarray(times, dtype=np.float64)
-        smc = self.daemon.smc
-        out = _empty_block(self.fields(), times.shape[0])
-        out["card_w"] = smc.read_sensor_block("power_w", times)
-        out["die_temp_c"] = smc.read_sensor_block("die_temp_c", times)
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return XEON_PHI_CAPABILITIES
 
 
-class RaplPerfBackend(Backend):
+class RaplPerfBackend(Mechanism):
     """Socket-level RAPL via the perf_event kernel interface.
 
     Same hardware counters as :class:`RaplMsrBackend`, but read through
@@ -459,124 +346,42 @@ class RaplPerfBackend(Backend):
     charges the modeled syscall latency per tick.
     """
 
-    platform = "RAPL"
-    mechanism = "rapl_perf"
-    MIN_INTERVAL_S = 0.060
+    platform = RAPL_PERF_SPEC.platform
+    mechanism = RAPL_PERF_SPEC.name
+    MIN_INTERVAL_S = RAPL_PERF_SPEC.min_interval_s
 
     def __init__(self, perf: PerfEventRapl, label: str | None = None):
-        self.perf = perf
-        self.label = label if label is not None else (
-            f"{perf.node.hostname}-perf{perf.package.socket}"
+        super().__init__(
+            RAPL_PERF_SPEC, PerfCounterSource(perf),
+            label=label if label is not None else (
+                f"{perf.node.hostname}-perf{perf.package.socket}"
+            ),
         )
-        # The 32-bit hardware wrap re-expressed in perf units (2^48 for
-        # the standard 2^-16 J hardware unit).
-        self._modulus = int(round(
-            (1 << 32) * perf.package.units.energy_j / PERF_ENERGY_UNIT_J
-        ))
-        self._last: dict[RaplDomain, tuple[float, int]] = {}
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        # One perf read syscall per event.
-        return PERF_READ_LATENCY_S * len(PERF_RAPL_EVENTS)
-
-    def fields(self) -> list[str]:
-        return [f"{d.value}_w" for d in PERF_RAPL_EVENTS.values()]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        row: dict[str, float] = {}
-        for event, domain in PERF_RAPL_EVENTS.items():
-            raw = self.perf.read_at(event, t)
-            prev = self._last.get(domain)
-            if prev is None or t <= prev[0]:
-                row[f"{domain.value}_w"] = 0.0
-            else:
-                delta = raw - prev[1]
-                if delta < 0:
-                    delta += self._modulus
-                    RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc()
-                row[f"{domain.value}_w"] = delta * PERF_ENERGY_UNIT_J / (t - prev[0])
-            self._last[domain] = (t, raw)
-        return row
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        times = np.asarray(times, dtype=np.float64)
-        out = _empty_block(self.fields(), times.shape[0])
-        if times.shape[0] == 0:
-            return out
-        for event, domain in PERF_RAPL_EVENTS.items():
-            raws = self.perf.read_block(event, times)
-            delta, dt, fresh, wraps, self._last[domain] = _consecutive_deltas(
-                times, raws, self._last.get(domain), self._modulus
-            )
-            if wraps:
-                RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc(wraps)
-            power = (delta * PERF_ENERGY_UNIT_J) / dt
-            power[fresh] = 0.0
-            out[f"{domain.value}_w"] = power
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return RAPL_CAPABILITIES
+        self.perf = perf
 
 
-class PhiIpmbBackend(Backend):
+class PhiIpmbBackend(Mechanism):
     """Out-of-band view of one Phi card: the platform BMC polling the
     SMC over IPMB.
 
     The exchange costs the host and the card *nothing* — attach this
     backend with no process so the session charges no one — but every
     sensor is a full 22 ms bus round trip and values arrive quantized
-    to milli-units by the wire encoding.
+    to milli-units by the wire encoding (the channel's quantization).
     """
 
-    platform = "Xeon Phi"
-    mechanism = "ipmb"
-    MIN_INTERVAL_S = 0.100
-
-    #: (output field, SMC sensor) pairs, one IPMB exchange each.
-    _SENSORS = (
-        ("card_w", "power_w"),
-        ("die_temp_c", "die_temp_c"),
-        ("exhaust_temp_c", "exhaust_temp_c"),
-    )
+    platform = IPMB_SPEC.platform
+    mechanism = IPMB_SPEC.name
+    MIN_INTERVAL_S = IPMB_SPEC.min_interval_s
 
     def __init__(self, bmc: BaseboardManagementController,
                  label: str | None = None):
-        self.bmc = bmc
-        self.smc = bmc.responder.smc
-        self.label = label if label is not None else (
-            f"mic{self.smc.card.mic_index}-bmc"
+        smc = bmc.responder.smc
+        super().__init__(
+            IPMB_SPEC, SmcSensorSource(smc, IPMB_SENSORS),
+            label=label if label is not None else (
+                f"mic{smc.card.mic_index}-bmc"
+            ),
         )
-
-    @property
-    def min_interval_s(self) -> float:
-        return self.MIN_INTERVAL_S
-
-    @property
-    def query_latency_s(self) -> float:
-        # One IPMB request/response exchange per sensor.
-        return IPMB_EXCHANGE_LATENCY_S * len(self._SENSORS)
-
-    def fields(self) -> list[str]:
-        return [name for name, _ in self._SENSORS]
-
-    def read_at(self, t: float) -> dict[str, float]:
-        return {
-            name: quantize_reading(self.smc.read_sensor(sensor, t))
-            for name, sensor in self._SENSORS
-        }
-
-    def read_block(self, times: np.ndarray) -> np.ndarray:
-        times = np.asarray(times, dtype=np.float64)
-        out = _empty_block(self.fields(), times.shape[0])
-        for name, sensor in self._SENSORS:
-            out[name] = quantize_block(self.smc.read_sensor_block(sensor, times))
-        return out
-
-    def capabilities(self) -> PlatformCapabilities:
-        return XEON_PHI_CAPABILITIES
+        self.bmc = bmc
+        self.smc = smc

@@ -51,7 +51,6 @@ from repro.obs.instruments import (
     MONEQ_SESSIONS_STARTED,
     MONEQ_TICKS,
     CollectorInstrument,
-    collector,
 )
 from repro.obs.tracing import get_tracer
 from repro.sim.events import EventQueue
@@ -165,7 +164,7 @@ class MoneqSession:
                 backend=backend,
                 process=processes[i] if processes is not None else None,
                 records=np.zeros(self.config.buffer_slots, dtype=dtype),
-                instrument=collector(backend.mechanism),
+                instrument=backend.instrument,
             ))
 
         # Every tick advances the clock by the same constant — the

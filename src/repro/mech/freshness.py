@@ -1,0 +1,88 @@
+"""Freshness models: how stale a mechanism's data can be, and the
+minimum useful polling interval that follows from it.
+
+Every vendor path in the paper rations freshness differently — BG/Q
+EMON returns the *oldest* of two sensor generations, RAPL counters
+update with documented jitter below 60 ms, NVML and the Phi SMC refresh
+on fixed hardware periods — yet each reduces to one number MonEQ needs:
+the lowest polling interval possible for the given hardware.  A
+:class:`FreshnessModel` declares the *reason* (kind + parameters) and
+derives ``min_interval_s`` from it, validated at construction, instead
+of each backend hand-coding a ``MIN_INTERVAL_S`` constant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class FreshnessKind(enum.Enum):
+    """Why a mechanism's data has a freshness floor."""
+
+    #: The mechanism returns data ``depth`` hardware sample generations
+    #: behind the present (EMON's "oldest generation of power data");
+    #: polling faster than ``depth`` generations re-reads the same data.
+    GENERATIONS = "generations"
+    #: The device refreshes its register on a fixed period (NVML board
+    #: power, the Phi SMC); polling faster returns unchanged values.
+    REFRESH = "refresh"
+    #: An empirical floor documented for the mechanism (RAPL's update
+    #: jitter, the Phi management paths) rather than a visible period.
+    FLOOR = "floor"
+
+
+@dataclass(frozen=True)
+class FreshnessModel:
+    """One mechanism's freshness declaration.
+
+    ``min_interval_s`` is *derived*: ``period_s * depth`` for
+    generation-staged data, ``period_s`` for refresh-limited and
+    floor-declared mechanisms.  ``note`` records the paper's wording for
+    the limit so the registry stays self-documenting.
+    """
+
+    kind: FreshnessKind
+    period_s: float
+    depth: int = 1
+    note: str = ""
+
+    def __post_init__(self):
+        if self.period_s <= 0.0:
+            raise ConfigError(
+                f"freshness period must be positive, got {self.period_s}"
+            )
+        if self.depth < 1:
+            raise ConfigError(f"freshness depth must be >= 1, got {self.depth}")
+        if self.kind is not FreshnessKind.GENERATIONS and self.depth != 1:
+            raise ConfigError(
+                f"depth is only meaningful for GENERATIONS, got depth="
+                f"{self.depth} for {self.kind.value}"
+            )
+
+    @property
+    def min_interval_s(self) -> float:
+        """The lowest polling interval possible for the hardware."""
+        if self.kind is FreshnessKind.GENERATIONS:
+            return self.period_s * self.depth
+        return self.period_s
+
+    # -- declarative constructors -------------------------------------------
+
+    @classmethod
+    def generations(cls, period_s: float, depth: int,
+                    note: str = "") -> "FreshnessModel":
+        """Data served ``depth`` generations of ``period_s`` behind."""
+        return cls(FreshnessKind.GENERATIONS, period_s, depth, note)
+
+    @classmethod
+    def refresh(cls, period_s: float, note: str = "") -> "FreshnessModel":
+        """Device-side register refresh every ``period_s``."""
+        return cls(FreshnessKind.REFRESH, period_s, note=note)
+
+    @classmethod
+    def floor(cls, period_s: float, note: str = "") -> "FreshnessModel":
+        """A documented empirical floor of ``period_s``."""
+        return cls(FreshnessKind.FLOOR, period_s, note=note)

@@ -1,0 +1,85 @@
+"""The generic mechanism: a declared spec composed with a live source.
+
+This is where the eight hand-coded backend bodies collapsed to one:
+``read_block`` samples the source columnarly and applies the channel's
+wire quantization; ``read_at`` is a one-element grid through the same
+path, so scalar/block parity is guaranteed **once, at the layer** —
+the contract the block-sampling engine's byte-identical-output
+guarantee rests on.  Latency, minimum interval, capabilities and
+instrumentation are all read off the declaration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.capability import PlatformCapabilities, platform_capabilities
+from repro.core.moneq.backend import Backend
+from repro.errors import ConfigError
+from repro.mech.channel import AccessChannel
+from repro.mech.registry import MechanismSpec
+from repro.mech.source import SensorSource, empty_block
+from repro.obs.instruments import CollectorInstrument
+
+
+class Mechanism(Backend):
+    """One vendor collection path: a :class:`SensorSource` behind an
+    :class:`AccessChannel`, with freshness and capabilities declared by
+    a :class:`MechanismSpec`.
+
+    Concrete vendor backends are thin compositions: they pick the spec,
+    build the source from a device, and keep their historical
+    constructor signatures — no per-backend read bodies.
+    """
+
+    def __init__(self, spec: MechanismSpec, source: SensorSource, label: str,
+                 channel: AccessChannel | None = None):
+        if tuple(source.fields()) != spec.fields:
+            raise ConfigError(
+                f"mechanism {spec.name!r}: source produces fields "
+                f"{tuple(source.fields())} but the declaration promises "
+                f"{spec.fields}"
+            )
+        self.spec = spec
+        self.source = source
+        self.label = label
+        self.channel = channel if channel is not None else spec.channel
+        self.platform = spec.platform
+        self.mechanism = spec.name
+        self._instrument = self.channel.instrument(spec.name)
+
+    @property
+    def min_interval_s(self) -> float:
+        return self.spec.freshness.min_interval_s
+
+    @property
+    def query_latency_s(self) -> float:
+        return self.channel.latency_for(self.spec.queries_per_read)
+
+    @property
+    def instrument(self) -> CollectorInstrument:
+        return self._instrument
+
+    def fields(self) -> list[str]:
+        return list(self.spec.fields)
+
+    def read_block(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        out = empty_block(self.spec.fields, times.shape[0])
+        if times.shape[0] == 0:
+            return out
+        columns = self.source.collect(times)
+        quantization = self.channel.quantization
+        for name in self.spec.fields:
+            column = columns[name]
+            if quantization is not None:
+                column = quantization.apply_block(column)
+            out[name] = column
+        return out
+
+    def read_at(self, t: float) -> dict[str, float]:
+        block = self.read_block(np.array([t], dtype=np.float64))
+        return {name: float(block[name][0]) for name in self.spec.fields}
+
+    def capabilities(self) -> PlatformCapabilities:
+        return platform_capabilities(self.spec.platform)

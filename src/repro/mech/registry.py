@@ -1,0 +1,93 @@
+"""The mechanism registry: every vendor collection path, declared.
+
+A :class:`MechanismSpec` is the static quarter-composition the paper's
+comparison runs on — channel + freshness + capability + field list —
+with no device attached.  Registration happens where the compositions
+live (``repro.core.moneq.backends``); consumers iterate
+:func:`mechanisms` to inspect the fleet (``repro mech list``, the
+capability property tests, future fault-injection harnesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.mech.capability_decl import CapabilityDecl
+from repro.mech.channel import AccessChannel
+from repro.mech.freshness import FreshnessModel
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """One declared vendor path: everything but the live device."""
+
+    name: str
+    platform: str
+    channel: AccessChannel
+    freshness: FreshnessModel
+    capability: CapabilityDecl
+    #: Output field names, in column order — the property suite pins
+    #: these to the keys ``read_at`` actually returns.
+    fields: tuple[str, ...]
+    #: Channel exchanges per collection tick (one MSR read per RAPL
+    #: domain, one IPMB round trip per SMC sensor, ...).
+    queries_per_read: int = 1
+    summary: str = ""
+
+    def __post_init__(self):
+        if not self.fields:
+            raise ConfigError(f"mechanism {self.name!r} declares no fields")
+        if len(set(self.fields)) != len(self.fields):
+            raise ConfigError(f"mechanism {self.name!r} has duplicate fields")
+        if self.queries_per_read < 1:
+            raise ConfigError(
+                f"mechanism {self.name!r} needs >= 1 queries per read, "
+                f"got {self.queries_per_read}"
+            )
+        if self.capability.platform != self.platform:
+            raise ConfigError(
+                f"mechanism {self.name!r} is on platform {self.platform!r} "
+                f"but declares {self.capability.platform!r} capabilities"
+            )
+
+    @property
+    def min_interval_s(self) -> float:
+        """Derived hardware floor on the polling interval."""
+        return self.freshness.min_interval_s
+
+    @property
+    def read_latency_s(self) -> float:
+        """Charged cost of one full collection tick."""
+        return self.channel.latency_for(self.queries_per_read)
+
+
+_REGISTRY: dict[str, MechanismSpec] = {}
+
+
+def register(spec: MechanismSpec) -> MechanismSpec:
+    """Add ``spec`` to the registry (idempotent for identical re-adds)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        if existing == spec:
+            return spec
+        raise ConfigError(
+            f"mechanism {spec.name!r} already registered with a "
+            "different declaration"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> MechanismSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown mechanism {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return spec
+
+
+def mechanisms() -> dict[str, MechanismSpec]:
+    """Name -> spec, in registration order."""
+    return dict(_REGISTRY)

@@ -1,0 +1,26 @@
+"""The NVML sensor source: board power + die temperature, columnar."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mech.source import SensorSource
+from repro.nvml.device import GpuDevice
+
+NVML_FIELDS: tuple[str, ...] = ("board_w", "die_temp_c")
+
+
+class NvmlSource(SensorSource):
+    """One Kepler GPU's power sensor and thermal node."""
+
+    def __init__(self, gpu: GpuDevice):
+        self.gpu = gpu
+
+    def fields(self) -> tuple[str, ...]:
+        return NVML_FIELDS
+
+    def collect(self, times: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            "board_w": self.gpu.power_sensor.read(times),
+            "die_temp_c": self.gpu.temperature_c(times),
+        }

@@ -198,6 +198,28 @@ ALL_BENCHES: dict[str, Callable[[], dict]] = {
     "launcher_mmps": bench_launcher_mmps,
 }
 
+#: Reduced-size profile for CI smoke runs: same benches, small enough
+#: to finish in seconds on a shared runner.  Smoke results are never
+#: written to the trajectory file — the committed numbers measure the
+#: full profile.
+SMOKE_BENCHES: dict[str, Callable[[], dict]] = {
+    "moneq_block": lambda: bench_moneq_block(agents=64, ticks=1_000,
+                                             scalar_ticks=50),
+    "moneq_full_session": lambda: bench_moneq_full_session(duration_s=10.0),
+    "launcher_fanin_4096": lambda: bench_launcher_fanin(size=512),
+    "launcher_mmps": lambda: bench_launcher_mmps(messages_per_rank=400),
+}
+
+#: Absolute speedup floors a smoke check enforces.  Deliberately far
+#: below locally-measured values: a shared CI runner is noisy, and the
+#: check exists to catch an optimization being *undone* (speedups
+#: collapsing to ~1x), not to benchmark the runner.
+SMOKE_FLOORS: dict[str, float] = {
+    "moneq_block": 3.0,
+    "moneq_full_session": 2.0,
+    "launcher_fanin_4096": 1.5,
+}
+
 #: Relative slack allowed when re-measuring a committed speedup.  Wide
 #: because these are single-shot wall-clock measurements on shared
 #: machines; the check is for *regressions* (an optimization undone),
@@ -207,6 +229,7 @@ CHECK_TOLERANCE = 0.30
 
 def check(json_path: str = "BENCH_moneq.json",
           tolerance: float = CHECK_TOLERANCE,
+          smoke: bool = False,
           ) -> tuple[list[str], dict[str, dict]]:
     """Re-run every bench and compare against the committed trajectory.
 
@@ -214,7 +237,22 @@ def check(json_path: str = "BENCH_moneq.json",
     bench whose fresh ``speedup_vs_scalar`` fell more than ``tolerance``
     below the committed value (or that disappeared from the suite).
     The committed file is never rewritten by a check.
+
+    With ``smoke=True`` the reduced :data:`SMOKE_BENCHES` profile runs
+    instead and is held to the absolute :data:`SMOKE_FLOORS` — the
+    committed trajectory measures the full profile, so comparing smoke
+    numbers against it would be meaningless.
     """
+    if smoke:
+        results = run(json_path=None, benches=SMOKE_BENCHES)
+        failures = [
+            f"{name}: smoke speedup "
+            f"{results[name]['speedup_vs_scalar']:.3f}x below the "
+            f"{floor:.1f}x floor"
+            for name, floor in SMOKE_FLOORS.items()
+            if results[name]["speedup_vs_scalar"] < floor
+        ]
+        return failures, results
     with open(json_path, encoding="utf-8") as fh:
         committed = json.load(fh)
     results = run(json_path=None)
@@ -233,10 +271,14 @@ def check(json_path: str = "BENCH_moneq.json",
     return failures, results
 
 
-def run(json_path: str | None = "BENCH_moneq.json") -> dict[str, dict]:
+def run(json_path: str | None = "BENCH_moneq.json",
+        benches: dict[str, Callable[[], dict]] | None = None,
+        ) -> dict[str, dict]:
     """Run every bench; write the trajectory file (bench name ->
     ``{wall_s, speedup_vs_scalar}``) unless ``json_path`` is None."""
-    results = {name: fn() for name, fn in ALL_BENCHES.items()}
+    if benches is None:
+        benches = ALL_BENCHES
+    results = {name: fn() for name, fn in benches.items()}
     if json_path is not None:
         trajectory = {
             name: {

@@ -1,0 +1,106 @@
+"""RAPL sensor sources: three access paths over the same counters.
+
+All three differ only in how raw counter contents are obtained and
+scaled — direct MSR quanta, microjoule sysfs renderings, perf's
+normalized 2^-32 J units — so each is a tiny
+:class:`~repro.mech.source.CounterSource` subclass; the consecutive-
+read differencing, single-wrap correction and freshness bookkeeping
+live once in the mechanism layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mech.source import CounterSource
+from repro.obs.instruments import RAPL_WRAP_CORRECTIONS
+from repro.rapl.domains import RaplDomain
+from repro.rapl.package import CpuPackage
+from repro.rapl.perf_event import (
+    PERF_ENERGY_UNIT_J,
+    PERF_RAPL_EVENTS,
+    PerfEventRapl,
+)
+
+#: Watt column per RAPL domain, in domain order.
+RAPL_FIELDS: tuple[str, ...] = tuple(f"{d.value}_w" for d in RaplDomain)
+
+#: The powercap microjoule counter's wrap: the 32-bit hardware wrap
+#: re-rendered by the sysfs energy_uj encoding.
+POWERCAP_MODULUS_UJ = int((1 << 32) * 2.0 ** -16 * 1e6)
+
+
+class _RaplCounterSource(CounterSource):
+    """Shared wrap-correction accounting for the RAPL paths."""
+
+    def __init__(self, mechanism: str,
+                 counters: tuple[tuple[str, object], ...], modulus: int):
+        super().__init__(counters, modulus)
+        self.mechanism = mechanism
+
+    def record_wraps(self, count: int) -> None:
+        RAPL_WRAP_CORRECTIONS.labels(self.mechanism).inc(count)
+
+
+class MsrCounterSource(_RaplCounterSource):
+    """Raw 32-bit energy-status counters via chardev MSR reads."""
+
+    def __init__(self, package: CpuPackage):
+        super().__init__(
+            "rapl_msr",
+            tuple((f"{d.value}_w", d) for d in RaplDomain),
+            modulus=1 << 32,
+        )
+        self.package = package
+
+    def raw_block(self, domain, times: np.ndarray) -> np.ndarray:
+        return self.package.energy_raw_block(domain, times)
+
+    def to_watts(self, delta: np.ndarray, dt: np.ndarray) -> np.ndarray:
+        return (delta * self.package.units.energy_j) / dt
+
+
+class PowercapCounterSource(_RaplCounterSource):
+    """The same counters through the sysfs ``energy_uj`` rendering:
+    ``int(raw * energy_j * 1e6)`` microjoules, wrap re-expressed in
+    microjoule units."""
+
+    def __init__(self, package: CpuPackage, mechanism: str = "rapl_powercap"):
+        super().__init__(
+            mechanism,
+            tuple((f"{d.value}_w", d) for d in RaplDomain),
+            modulus=POWERCAP_MODULUS_UJ,
+        )
+        self.package = package
+
+    def raw_block(self, domain, times: np.ndarray) -> np.ndarray:
+        raws = self.package.energy_raw_block(domain, times)
+        return np.floor(
+            raws * self.package.units.energy_j * 1e6
+        ).astype(np.int64)
+
+    def to_watts(self, delta: np.ndarray, dt: np.ndarray) -> np.ndarray:
+        return (delta / 1e6) / dt
+
+
+class PerfCounterSource(_RaplCounterSource):
+    """The same counters through perf_event's normalized units."""
+
+    def __init__(self, perf: PerfEventRapl):
+        super().__init__(
+            "rapl_perf",
+            tuple((f"{d.value}_w", event)
+                  for event, d in PERF_RAPL_EVENTS.items()),
+            # The 32-bit hardware wrap re-expressed in perf units (2^48
+            # for the standard 2^-16 J hardware unit).
+            modulus=int(round(
+                (1 << 32) * perf.package.units.energy_j / PERF_ENERGY_UNIT_J
+            )),
+        )
+        self.perf = perf
+
+    def raw_block(self, event, times: np.ndarray) -> np.ndarray:
+        return self.perf.read_block(event, times)
+
+    def to_watts(self, delta: np.ndarray, dt: np.ndarray) -> np.ndarray:
+        return (delta * PERF_ENERGY_UNIT_J) / dt

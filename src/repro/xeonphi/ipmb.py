@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ChecksumError, IpmbError
+from repro.mech.channel import MILLI_UNITS
 from repro.obs.instruments import collector
 from repro.sim.clock import VirtualClock
 from repro.xeonphi.smc import SMC_SENSORS, SystemManagementController
@@ -47,23 +48,23 @@ def _checksum(data: bytes) -> int:
 
 def ipmb_quanta(value: float) -> int:
     """Fixed-point encoding of one sensor value on the wire:
-    little-endian milli-units, clipped to 31 bits."""
-    return max(min(int(round(value * 1000.0)), 2**31 - 1), 0)
+    little-endian milli-units, clipped to 31 bits.  The resolution loss
+    itself is owned by the mechanism layer's
+    :data:`~repro.mech.channel.MILLI_UNITS` quantization; this helper is
+    the wire framing's view of the same encoding."""
+    return MILLI_UNITS.quanta(value)
 
 
 def quantize_reading(value: float) -> float:
     """Resolution loss of one IPMB exchange: what the BMC decodes after
     :func:`ipmb_quanta` encoding."""
-    return ipmb_quanta(value) / 1000.0
+    return MILLI_UNITS.apply(value)
 
 
 def quantize_block(values: np.ndarray) -> np.ndarray:
     """Vectorized :func:`quantize_reading` — same half-to-even rounding
     and clip, elementwise bit-identical to the scalar path."""
-    quanta = np.clip(
-        np.rint(np.asarray(values, dtype=np.float64) * 1000.0), 0, 2**31 - 1
-    )
-    return quanta / 1000.0
+    return MILLI_UNITS.apply_block(values)
 
 
 @dataclass(frozen=True)

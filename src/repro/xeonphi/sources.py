@@ -1,0 +1,45 @@
+"""Xeon Phi sensor sources.
+
+All three Phi mechanisms — in-band SysMgmt, the device-side MICRAS
+daemon, and the out-of-band BMC — read the *same* System Management
+Controller; they differ only in which sensors they expose and what the
+channel crossing costs (and, for IPMB, the wire quantization the
+channel applies).  One parameterized source covers all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mech.source import SensorSource
+from repro.xeonphi.smc import SystemManagementController
+
+#: (output field, SMC sensor) pairs per mechanism.
+SYSMGMT_SENSORS: tuple[tuple[str, str], ...] = (
+    ("card_w", "power_w"),
+    ("die_temp_c", "die_temp_c"),
+    ("exhaust_temp_c", "exhaust_temp_c"),
+)
+MICRAS_SENSORS: tuple[tuple[str, str], ...] = (
+    ("card_w", "power_w"),
+    ("die_temp_c", "die_temp_c"),
+)
+IPMB_SENSORS: tuple[tuple[str, str], ...] = SYSMGMT_SENSORS
+
+
+class SmcSensorSource(SensorSource):
+    """A named subset of one card's SMC sensors, as columns."""
+
+    def __init__(self, smc: SystemManagementController,
+                 sensors: tuple[tuple[str, str], ...]):
+        self.smc = smc
+        self.sensors = sensors
+
+    def fields(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.sensors)
+
+    def collect(self, times: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            name: self.smc.read_sensor_block(sensor, times)
+            for name, sensor in self.sensors
+        }
