@@ -30,6 +30,13 @@
     python -m repro mech list           # the declared mechanism registry
                                         # (channel, latency, min interval,
                                         # capabilities per vendor path)
+    python -m repro chaos list          # the chaos scenario catalog
+    python -m repro chaos run <scenario> [--seed N] [--duration S]
+                                        [--rate R]
+                                        # run one fault-injection
+                                        # scenario over the fleet; the
+                                        # summary line is byte-stable
+                                        # for a given (scenario, seed)
 """
 
 from __future__ import annotations
@@ -228,6 +235,86 @@ def _mech_command(args: list[str]) -> int:
     return 0
 
 
+def _chaos_command(args: list[str]) -> int:
+    """``repro chaos list|run`` — inspect the scenario catalog or run
+    one named scenario over the fleet testbed, printing the injected
+    faults' error-counter deltas, the ``repro_chaos_*`` /
+    ``repro_retry_*`` families, and a byte-stable summary line."""
+    from repro.analysis.tables import format_table
+    from repro.chaos import SCENARIOS, run_scenario
+    from repro.chaos.scenarios import DEFAULT_DURATION_S, DEFAULT_SEED
+    from repro.errors import ChaosError
+    from repro.obs import dump
+
+    usage = ("usage: python -m repro chaos list\n"
+             "       python -m repro chaos run <scenario> [--seed N] "
+             "[--duration S] [--rate R]")
+    if not args:
+        print(usage, file=sys.stderr)
+        return 2
+
+    if args[0] == "list":
+        rows = [(s.name, f"{s.default_rate:g}", s.summary)
+                for s in SCENARIOS.values()]
+        print(format_table(
+            ("scenario", "rate", "summary"), rows,
+            title=f"[repro chaos list] {len(rows)} scenarios"))
+        return 0
+
+    if args[0] == "run":
+        seed, duration_s, rate = DEFAULT_SEED, DEFAULT_DURATION_S, None
+        positional: list[str] = []
+        rest = args[1:]
+        try:
+            i = 0
+            while i < len(rest):
+                arg = rest[i]
+                if arg in ("--seed", "--duration", "--rate"):
+                    if i + 1 >= len(rest):
+                        raise ValueError(f"{arg} needs a value")
+                    value = rest[i + 1]
+                    if arg == "--seed":
+                        seed = int(value)
+                    elif arg == "--duration":
+                        duration_s = float(value)
+                    else:
+                        rate = float(value)
+                    i += 2
+                else:
+                    positional.append(arg)
+                    i += 1
+        except ValueError as exc:
+            print(f"chaos run: {exc}", file=sys.stderr)
+            return 2
+        if len(positional) != 1:
+            print(f"chaos run: name exactly one scenario "
+                  f"(have {sorted(SCENARIOS)})", file=sys.stderr)
+            return 2
+        try:
+            result = run_scenario(positional[0], seed=seed,
+                                  duration_s=duration_s, rate=rate)
+        except ChaosError as exc:
+            print(f"chaos run: {exc}", file=sys.stderr)
+            return 2
+        if result.error_deltas:
+            rows = [(mechanism, kind, str(count))
+                    for (mechanism, kind), count
+                    in sorted(result.error_deltas.items())]
+            print(format_table(
+                ("mechanism", "kind", "errors"), rows,
+                title="[chaos] repro_collector_errors_total deltas"))
+        else:
+            print("# no collector errors (every fault recovered)")
+        chaos_lines = [line for line in dump().splitlines()
+                       if line.startswith(("repro_chaos", "repro_retry"))]
+        print("\n".join(chaos_lines))
+        print(result.summary_line())
+        return 0
+
+    print(usage, file=sys.stderr)
+    return 2
+
+
 def _report_flags(args: list[str]) -> tuple[int, bool, str | None, list[str]]:
     """Parse the shared ``--jobs N --no-cache --cache-root DIR`` flags;
     returns ``(jobs, cache, cache_root, positional)``."""
@@ -359,6 +446,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_command(args[1:])
     if command == "mech":
         return _mech_command(args[1:])
+    if command == "chaos":
+        return _chaos_command(args[1:])
     if command == "exec":
         return _exec_command(args[1:])
     if command == "report":

@@ -26,6 +26,15 @@ from __future__ import annotations
 from repro._version import __version__
 from repro.analysis.compare import series_from_readings, store_series
 from repro.bgq.envdb import EnvironmentalDatabase, EnvRecord
+from repro.chaos import (
+    DARK_READING,
+    SCENARIOS,
+    CircuitBreaker,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    run_scenario,
+)
 from repro.core.moneq.api import (
     backends_for_node,
     finalize,
@@ -36,6 +45,7 @@ from repro.core.moneq.backend import Backend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqResult, MoneqSession
 from repro.errors import (
+    ChaosError,
     ConfigError,
     DeviceError,
     ExperimentExecutionError,
@@ -105,6 +115,14 @@ __all__ = [
     "FlushReport",
     "series_from_readings",
     "store_series",
+    # fault injection and chaos scenarios
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DARK_READING",
+    "SCENARIOS",
+    "run_scenario",
     # experiment execution engine
     "Engine",
     "EngineStats",
@@ -121,6 +139,7 @@ __all__ = [
     "MoneqStateError",
     "MoneqBufferFullError",
     "ExperimentExecutionError",
+    "ChaosError",
     # metadata
     "API_VERSION",
     "__version__",

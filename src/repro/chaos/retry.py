@@ -1,0 +1,154 @@
+"""Retry policies and circuit breakers for channel crossings.
+
+A :class:`RetryPolicy` bounds how hard a consumer works to push one
+collection through a faulting channel: at most ``max_retries`` re-issued
+exchanges, exponential backoff between attempts with deterministic
+jitter (drawn from a :mod:`repro.sim.rng` stream owned by the fault
+plan), and a per-crossing **timeout budget** — once cumulative backoff
+exceeds it, the crossing goes dark even if retries remain, exactly like
+a caller's poll deadline expiring.
+
+A :class:`CircuitBreaker` sits above the policy, per (mechanism, device)
+pair: after ``failure_threshold`` consecutive dark crossings it opens
+and subsequent crossings fail fast (no retries, no backoff — the
+"sensor dark" degradation) for ``cooldown_crossings`` crossings, then
+half-opens to probe with a single crossing.  Transitions are counted in
+``repro_chaos_breaker_transitions_total{mechanism,state}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.obs.instruments import CHAOS_BREAKER_TRANSITIONS
+
+#: Breaker state names (also the ``state`` label values of the
+#: transition counter).
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, backoff-spaced re-issue of one failed channel exchange.
+
+    ``backoff_s(attempt, jitter_u)`` is ``base * multiplier**(attempt-1)``
+    scaled by ``1 + jitter_frac * (2u - 1)`` for a uniform ``u`` in
+    [0, 1) — full determinism rests on the caller drawing ``u`` from a
+    seeded stream.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 1e-3
+    backoff_multiplier: float = 2.0
+    jitter_frac: float = 0.1
+    #: Per-crossing deadline on cumulative backoff: exceeded means the
+    #: crossing goes dark with retries still unspent.
+    budget_s: float = 0.25
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0.0:
+            raise ConfigError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigError(
+                f"jitter_frac must be in [0, 1), got {self.jitter_frac}")
+        if self.budget_s <= 0.0:
+            raise ConfigError(f"budget_s must be positive, got {self.budget_s}")
+
+    def backoff_s(self, attempt: int, jitter_u: float) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered by
+        uniform ``jitter_u`` in [0, 1)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt is 1-based, got {attempt}")
+        base = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        return base * (1.0 + self.jitter_frac * (2.0 * jitter_u - 1.0))
+
+
+#: Per-mechanism default policies.  Budgets follow each channel's
+#: Table II cost: a 22 ms IPMB bus exchange earns a longer deadline
+#: than a 0.03 ms MSR pread before the consumer gives up.
+DEFAULT_POLICY = RetryPolicy()
+DEFAULT_POLICIES: dict[str, RetryPolicy] = {
+    "emon": RetryPolicy(max_retries=2, backoff_base_s=2e-3, budget_s=0.1),
+    "rapl_msr": RetryPolicy(max_retries=3, backoff_base_s=1e-4, budget_s=0.01),
+    "rapl_powercap": RetryPolicy(max_retries=3, backoff_base_s=1e-4,
+                                 budget_s=0.01),
+    "rapl_perf": RetryPolicy(max_retries=3, backoff_base_s=2e-4,
+                             budget_s=0.02),
+    "nvml": RetryPolicy(max_retries=3, backoff_base_s=2e-3, budget_s=0.05),
+    "sysmgmt": RetryPolicy(max_retries=2, backoff_base_s=15e-3, budget_s=0.1),
+    "micras": RetryPolicy(max_retries=3, backoff_base_s=1e-3, budget_s=0.02),
+    "ipmb": RetryPolicy(max_retries=2, backoff_base_s=22e-3, budget_s=0.2),
+}
+
+
+def default_policy(mechanism: str) -> RetryPolicy:
+    """The retry policy a mechanism gets when the plan names none."""
+    return DEFAULT_POLICIES.get(mechanism, DEFAULT_POLICY)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one (mechanism, device) pair.
+
+    closed --[failure_threshold consecutive dark crossings]--> open
+    open   --[cooldown_crossings fast-failed crossings]--> half_open
+    half_open --[probe delivered]--> closed
+    half_open --[probe dark]--> open (cooldown restarts)
+    """
+
+    def __init__(self, mechanism: str, failure_threshold: int = 3,
+                 cooldown_crossings: int = 8):
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_crossings < 1:
+            raise ConfigError(
+                f"cooldown_crossings must be >= 1, got {cooldown_crossings}")
+        self.mechanism = mechanism
+        self.failure_threshold = failure_threshold
+        self.cooldown_crossings = cooldown_crossings
+        self.state = CLOSED
+        self.opens = 0
+        self._consecutive_failures = 0
+        self._cooldown_left = 0
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        if state == OPEN:
+            self.opens += 1
+        CHAOS_BREAKER_TRANSITIONS.labels(self.mechanism, state).inc()
+
+    def allow(self) -> bool:
+        """May the next crossing attempt the channel at all?
+
+        ``False`` means fail fast (the open state's dark reading).  An
+        open breaker counts down its cooldown here, so "crossings" is
+        the cooldown unit — no wall clock is involved.
+        """
+        if self.state == OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left > 0:
+                return False
+            self._transition(HALF_OPEN)
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._transition(OPEN)
+            self._cooldown_left = self.cooldown_crossings

@@ -1,0 +1,165 @@
+"""Named chaos scenarios: composed fault plans run against the fleet.
+
+A scenario is a recipe: which :class:`~repro.chaos.faults.FaultRule`
+set to install, over which slice of a fleet-wide MonEQ session.  The
+catalog ships the reliability stories the ROADMAP names:
+
+* ``bmc_dark`` — a rack's BMC goes dark mid-sweep: every out-of-band
+  IPMB exchange fails from 40 % of the run onward; the circuit breaker
+  opens and the ipmb agent reads sensor-dark while the in-band paths
+  keep collecting.
+* ``daemon_wedge`` — the MICRAS daemon wedges mid-run: pseudo-file
+  reads hang (rate 1.0) from the wedge point on.
+* ``bus_noise`` — transient IPMB bus noise at a configurable rate for
+  the whole run: most faults recover on the first retry, a few go dark.
+
+``run_scenario`` stands the fleet up (:func:`repro.testbeds.fleet_node`),
+activates the seeded plan for the session, and returns a
+:class:`ScenarioResult` whose :meth:`~ScenarioResult.summary_line` is
+byte-stable for a given (scenario, seed) — the CLI smoke test and the
+determinism property suite both pin it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.chaos.faults import FaultEvent, FaultPlan, FaultRule
+from repro.errors import ChaosError
+
+#: Virtual-time length of a scenario session (the fleet's EMON floor is
+#: 0.56 s per tick, so this spans ~21 collection ticks).
+DEFAULT_DURATION_S = 12.0
+DEFAULT_SEED = 0xC4A05
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named recipe: fault rules as a function of the run window."""
+
+    name: str
+    summary: str
+    #: ``rules(duration_s, rate)`` -> the plan's rule tuple.
+    rules: Callable[[float, float], tuple[FaultRule, ...]]
+    #: Default per-exchange rate where the scenario is rate-shaped.
+    default_rate: float = 1.0
+
+    def plan(self, seed: int = DEFAULT_SEED,
+             duration_s: float = DEFAULT_DURATION_S,
+             rate: float | None = None) -> FaultPlan:
+        effective = self.default_rate if rate is None else rate
+        return FaultPlan(seed=seed, rules=self.rules(duration_s, effective))
+
+
+def _bmc_dark_rules(duration_s: float, rate: float) -> tuple[FaultRule, ...]:
+    # Mid-sweep: the BMC answers nothing from 40 % of the run onward.
+    return (FaultRule("ipmb", rate=rate, kind="bmc_dark",
+                      t_start=0.4 * duration_s),)
+
+
+def _daemon_wedge_rules(duration_s: float, rate: float) -> tuple[FaultRule, ...]:
+    return (FaultRule("micras", rate=rate, kind="daemon_wedged",
+                      t_start=0.4 * duration_s),)
+
+
+def _bus_noise_rules(duration_s: float, rate: float) -> tuple[FaultRule, ...]:
+    return (FaultRule("ipmb", rate=rate, kind="ipmb_drop"),)
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    "bmc_dark": ChaosScenario(
+        "bmc_dark",
+        "rack BMC goes dark mid-sweep; IPMB breaker opens, rest unharmed",
+        _bmc_dark_rules,
+    ),
+    "daemon_wedge": ChaosScenario(
+        "daemon_wedge",
+        "MICRAS daemon wedges mid-run; pseudo-file reads go dark",
+        _daemon_wedge_rules,
+    ),
+    "bus_noise": ChaosScenario(
+        "bus_noise",
+        "transient IPMB bus noise; retries recover most exchanges",
+        _bus_noise_rules,
+        default_rate=0.10,
+    ),
+}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced, determinism-comparable."""
+
+    scenario: str
+    seed: int
+    duration_s: float
+    interval_s: float
+    ticks: int
+    plan: FaultPlan
+    #: Output path -> file content for every agent of the session.
+    outputs: dict[str, str]
+    #: COLLECTOR_ERRORS deltas over the run, (mechanism, kind) -> count.
+    error_deltas: dict[tuple[str, str], int]
+
+    @property
+    def timeline(self) -> list[FaultEvent]:
+        return self.plan.timeline
+
+    def timeline_lines(self) -> list[str]:
+        return self.plan.timeline_lines()
+
+    def summary_line(self) -> str:
+        """One stable line: equal seeds render equal bytes."""
+        s = self.plan.stats
+        return (f"[repro chaos run] scenario={self.scenario} "
+                f"seed={self.seed} interval_s={self.interval_s:.3f} "
+                f"ticks={self.ticks} faults={s.faults} "
+                f"recovered={s.recovered} dark={s.dark} "
+                f"retries={s.retries} backoff_s={s.backoff_s:.6f} "
+                f"breaker_opens={s.breaker_opens}")
+
+
+def run_scenario(name: str, seed: int = DEFAULT_SEED,
+                 duration_s: float = DEFAULT_DURATION_S,
+                 rate: float | None = None,
+                 plan: FaultPlan | None = None) -> ScenarioResult:
+    """Run one catalog scenario over a fleet-wide MonEQ session.
+
+    ``plan=None`` (or a caller-supplied plan — the zero-rate
+    byte-identity tests pass their own) is activated for exactly the
+    session's extent; the session *completes and finalizes* whatever
+    the plan does — faulted crossings degrade to dark readings, they
+    never raise.
+    """
+    from repro import testbeds
+    from repro.core.moneq.session import MoneqSession
+    from repro.obs.instruments import COLLECTOR_ERRORS
+
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ChaosError(
+            f"unknown chaos scenario {name!r}; have {sorted(SCENARIOS)}")
+    if plan is None:
+        plan = scenario.plan(seed=seed, duration_s=duration_s, rate=rate)
+
+    node, backends = testbeds.fleet_node(seed=seed)
+    errors_before = COLLECTOR_ERRORS.samples()
+    session = MoneqSession(list(backends.values()), node.events,
+                           node_count=1, vfs=node.vfs)
+    with plan.active():
+        node.events.run_until(node.clock.now + duration_s)
+        result = session.finalize()
+
+    error_deltas: dict[tuple[str, str], int] = {}
+    for key, value in COLLECTOR_ERRORS.samples().items():
+        delta = value - errors_before.get(key, 0.0)
+        if delta:
+            error_deltas[(key[0], key[1])] = int(delta)
+    outputs = {path: node.vfs.read_text(path)
+               for path in result.output_paths}
+    return ScenarioResult(
+        scenario=name, seed=seed, duration_s=duration_s,
+        interval_s=session.interval_s, ticks=result.overhead.ticks,
+        plan=plan, outputs=outputs, error_deltas=error_deltas,
+    )

@@ -9,8 +9,12 @@ set this interval to whatever valid value is desired."  (paper §III)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -37,6 +41,12 @@ class MoneqConfig:
         re-checking the event queue.  ``1`` disables block sampling and
         falls back to scalar per-tick collection.  Output is
         byte-identical either way; only the constant factor changes.
+    fault_plan:
+        Optional :class:`~repro.chaos.faults.FaultPlan` activated for
+        exactly the session's extent (initialize through finalize).
+        Faulted crossings degrade to sensor-dark NaN readings instead
+        of raising; ``None`` (the default) leaves the read path
+        byte-identical to a chaos-free build.
     """
 
     polling_interval_s: float | None = None
@@ -44,6 +54,7 @@ class MoneqConfig:
     output_dir: str = "/moneq"
     tagging_enabled: bool = True
     block_ticks: int = 4096
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self):
         if self.polling_interval_s is not None and self.polling_interval_s <= 0.0:

@@ -174,6 +174,14 @@ class MoneqSession:
 
         self.tags = TagSet()
         self._finalized = False
+        # Chaos, scoped to the session: with a configured fault plan,
+        # every collection tick below crosses its channel under that
+        # plan and degrades to sensor-dark NaN rows instead of raising
+        # — the session always reaches finalize.
+        if self.config.fault_plan is not None:
+            from repro.chaos.faults import activate
+
+            activate(self.config.fault_plan)
         MONEQ_SESSIONS_STARTED.inc()
         # Initialize cost: charged to the clock now, before the timer arms.
         self._init_cost = initialize_time_s(self.node_count)
@@ -282,6 +290,10 @@ class MoneqSession:
         self.tags.require_all_closed()
         self._finalized = True
         self._timer.cancel()
+        if self.config.fault_plan is not None:
+            from repro.chaos.faults import deactivate
+
+            deactivate(self.config.fault_plan)
         t_end = self.queue.clock.now
         runtime = t_end - self.t_start
         for agent in self.agents:

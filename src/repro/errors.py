@@ -154,3 +154,9 @@ class WorkloadError(ReproError):
 class ExperimentExecutionError(ReproError):
     """One or more experiment tasks failed in the execution engine
     (worker crash/timeout after its retry, or a task exception)."""
+
+
+class ChaosError(ReproError):
+    """Misuse of the fault-injection subsystem (activating a second
+    plan over an installed one, deactivating a plan that is not
+    active, unknown chaos scenario, ...)."""

@@ -116,3 +116,15 @@ class AccessChannel:
         the one place session hot paths get their query/latency
         instrumentation from."""
         return collector(mechanism)
+
+    def fault_injector(self, mechanism: str, label: str,
+                       queries_per_tick: int = 1):
+        """The channel as fault-injection seam: the active
+        :class:`~repro.chaos.faults.FaultPlan`'s injector for crossings
+        of this channel by ``(mechanism, label)``, or ``None`` when no
+        plan is installed.  Every generic read consults this, so all
+        declared vendor paths inherit fault handling by construction;
+        the disabled path costs one global check."""
+        from repro.chaos.injector import injector_for
+
+        return injector_for(self, mechanism, label, queries_per_tick)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.chaos.injector import DARK_READING
 from repro.core.capability import PlatformCapabilities, platform_capabilities
 from repro.core.moneq.backend import Backend
 from repro.errors import ConfigError
@@ -75,6 +76,19 @@ class Mechanism(Backend):
             if quantization is not None:
                 column = quantization.apply_block(column)
             out[name] = column
+        # The fault-injection seam: with a plan active, every crossing
+        # of the grid is decided *after* the source collected — a retry
+        # re-issues the exchange, never the stateful counter read — and
+        # undelivered rows degrade to sensor-dark NaN instead of
+        # raising.  With no plan this is one function call returning
+        # None, and the block above is the entire read path.
+        injector = self.channel.fault_injector(
+            self.mechanism, self.label, self.spec.queries_per_read)
+        if injector is not None:
+            dark = injector.cross_block(times)
+            if dark.any():
+                for name in self.spec.fields:
+                    out[name][dark] = DARK_READING
         return out
 
     def read_at(self, t: float) -> dict[str, float]:

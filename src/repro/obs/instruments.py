@@ -193,6 +193,47 @@ LAUNCHER_ERRORS = _REGISTRY.counter(
 )
 
 
+# -- Chaos / fault injection -------------------------------------------------
+
+CHAOS_FAULTS = _REGISTRY.counter(
+    "repro_chaos_faults_injected_total",
+    "Channel-crossing faults injected by the active fault plan, by "
+    "mechanism and fault kind",
+    labels=("mechanism", "kind"),
+)
+CHAOS_DARK_READS = _REGISTRY.counter(
+    "repro_chaos_dark_reads_total",
+    "Crossings degraded to a sensor-dark (NaN) reading after retries "
+    "were exhausted, the timeout budget expired, or the circuit "
+    "breaker failed fast",
+    labels=("mechanism",),
+)
+CHAOS_BREAKER_TRANSITIONS = _REGISTRY.counter(
+    "repro_chaos_breaker_transitions_total",
+    "Circuit-breaker state transitions, by mechanism and entered state "
+    "(closed, open, half_open)",
+    labels=("mechanism", "state"),
+)
+
+# -- Retry layer -------------------------------------------------------------
+
+RETRY_ATTEMPTS = _REGISTRY.counter(
+    "repro_retry_attempts_total",
+    "Channel exchanges re-issued after an injected fault",
+    labels=("mechanism",),
+)
+RETRY_BACKOFF_SECONDS = _REGISTRY.counter(
+    "repro_retry_backoff_seconds_total",
+    "Modeled seconds spent backing off between retry attempts",
+    labels=("mechanism",),
+)
+RETRY_EXHAUSTED = _REGISTRY.counter(
+    "repro_retry_exhausted_total",
+    "Crossings whose retries ran out (or whose timeout budget expired) "
+    "without a delivered reading",
+    labels=("mechanism",),
+)
+
 # -- Experiment execution engine --------------------------------------------
 
 EXEC_TASKS = _REGISTRY.counter(

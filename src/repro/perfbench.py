@@ -190,12 +190,62 @@ def bench_launcher_mmps(ranks: int = 2, messages_per_rank: int = 2000) -> dict:
     }
 
 
+def bench_chaos_hotpath(rows: int = 200_000, reps: int = 5,
+                        check_rows: int = 4_096, seed: int = 0xC4A0) -> dict:
+    """Guard for the fault-injection seam: with no :class:`FaultPlan`
+    active, ``Mechanism.read_block`` must stay a thin wrapper over the
+    raw source collect — the chaos hook is one function call returning
+    None, never per-row work.
+
+    ``speedup_vs_scalar`` here is ``wall(source.collect) /
+    wall(read_block)``: the fraction of a retry-free block read spent
+    below the seam.  It sits near 1x when the wrapper is thin and
+    collapses toward 0x if the disabled chaos path ever grows per-row
+    overhead — the floor catches exactly that regression.  Byte-identity
+    of a zero-rate active plan against the disabled path is asserted on
+    a reduced grid.
+    """
+    import numpy as np
+
+    from repro import testbeds
+    from repro.chaos.faults import FaultPlan, FaultRule
+
+    node, gpu, _ = testbeds.gpu_node(seed=seed)
+    gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
+    backend = NvmlBackend(gpu)
+    times = np.arange(rows, dtype=np.float64) * NVML_INTERVAL_S
+
+    backend.read_block(times)  # warm both paths out of the timing
+    wall_block = min(_wall(lambda: backend.read_block(times))[0]
+                     for _ in range(reps))
+    wall_collect = min(_wall(lambda: backend.source.collect(times))[0]
+                       for _ in range(reps))
+
+    check_times = times[:check_rows]
+    disabled = backend.read_block(check_times)
+    zero_plan = FaultPlan(seed=seed, rules=(FaultRule("nvml", rate=0.0),))
+    with zero_plan.active():
+        wall_zero, under_plan = _wall(lambda: backend.read_block(check_times))
+    if under_plan.tobytes() != disabled.tobytes():
+        raise AssertionError(
+            "zero-rate fault plan changed read_block bytes")
+    return {
+        "wall_s": wall_block,
+        "speedup_vs_scalar": wall_collect / wall_block,
+        "collect_wall_s": wall_collect,
+        "zero_rate_wall_s": wall_zero,
+        "rows": rows,
+        "byte_identical": True,
+    }
+
+
 #: Bench name -> zero-argument callable, in report order.
 ALL_BENCHES: dict[str, Callable[[], dict]] = {
     "moneq_block": bench_moneq_block,
     "moneq_full_session": bench_moneq_full_session,
     "launcher_fanin_4096": bench_launcher_fanin,
     "launcher_mmps": bench_launcher_mmps,
+    "chaos_hotpath": bench_chaos_hotpath,
 }
 
 #: Reduced-size profile for CI smoke runs: same benches, small enough
@@ -208,6 +258,7 @@ SMOKE_BENCHES: dict[str, Callable[[], dict]] = {
     "moneq_full_session": lambda: bench_moneq_full_session(duration_s=10.0),
     "launcher_fanin_4096": lambda: bench_launcher_fanin(size=512),
     "launcher_mmps": lambda: bench_launcher_mmps(messages_per_rank=400),
+    "chaos_hotpath": lambda: bench_chaos_hotpath(rows=50_000, reps=3),
 }
 
 #: Absolute speedup floors a smoke check enforces.  Deliberately far
@@ -218,6 +269,11 @@ SMOKE_FLOORS: dict[str, float] = {
     "moneq_block": 3.0,
     "moneq_full_session": 2.0,
     "launcher_fanin_4096": 1.5,
+    # chaos_hotpath's ratio is collect/read_block (<= ~1 by definition):
+    # 0.25 means a retry-free read spends at least a quarter of its wall
+    # below the fault-injection seam — per-row chaos overhead on the
+    # disabled path would push it far under.
+    "chaos_hotpath": 0.25,
 }
 
 #: Relative slack allowed when re-measuring a committed speedup.  Wide

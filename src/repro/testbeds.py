@@ -119,6 +119,81 @@ def multi_device_node(seed: int = 0x5EED,
     return node, rig
 
 
+def fleet_node(seed: int = 0x5EED,
+               hostname: str = "fleet-host") -> tuple[Node, dict]:
+    """One node carrying **every registered vendor path** — the whole
+    mechanism fleet on a shared clock, in registry order.
+
+    Returns ``(node, backends)`` where ``backends`` maps mechanism name
+    to a live backend: an EMON node board, the three RAPL access paths
+    over one Sandy Bridge-EP socket, NVML on a K20, and the Phi's
+    in-band, daemon and out-of-band paths.  The chaos scenarios and the
+    fleet-wide failure tests run their sessions on this rig.
+    """
+    from repro.bgq.emon import EmonInterface
+    from repro.bgq.topology import NodeBoard
+    from repro.core.moneq.backends import (
+        BgqEmonBackend,
+        NvmlBackend,
+        PhiIpmbBackend,
+        PhiMicrasBackend,
+        PhiSysMgmtBackend,
+        RaplMsrBackend,
+        RaplPerfBackend,
+        RaplPowercapBackend,
+    )
+    from repro.rapl.perf_event import PerfEventRapl
+    from repro.rapl.powercap import install_powercap_driver
+
+    node = Node(hostname, kernel=Kernel("3.14"), rng=RngRegistry(seed))
+    package = CpuPackage(SANDY_BRIDGE_EP, rng=node.rng.fork("cpu0"))
+    node.attach("cpu", package)
+    install_msr_driver(node)
+    node.kernel.modprobe("msr").grant_readonly_access()
+    install_powercap_driver(node)
+    node.kernel.modprobe("intel_rapl")
+
+    gpu = GpuDevice(KEPLER_K20, rng=node.rng.fork("gpu0"), index=0)
+    node.attach("gpu", gpu)
+    NvmlLibrary(node).init()
+
+    card = PhiCard(XEON_PHI_SE10P, rng=node.rng.fork("mic0"), mic_index=0,
+                   clock=node.clock)
+    node.attach("mic", card)
+    smc = SystemManagementController(card)
+    scif = ScifNetwork(node.clock, card_count=1)
+    micras = MicrasDaemon(card, smc)
+    micras.mount()
+    node.attach("micras", micras)
+
+    board = NodeBoard("R00-M0-N00", node.rng.fork("bgq"))
+
+    backends = {
+        "emon": BgqEmonBackend(EmonInterface(board, node.clock)),
+        "rapl_msr": RaplMsrBackend(package, label=f"{hostname}-socket0"),
+        "rapl_powercap": RaplPowercapBackend(node),
+        "rapl_perf": RaplPerfBackend(PerfEventRapl(node, package)),
+        "nvml": NvmlBackend(gpu),
+        "sysmgmt": PhiSysMgmtBackend(SysMgmtApi(scif, card, smc)),
+        "micras": PhiMicrasBackend(micras),
+        "ipmb": PhiIpmbBackend(BaseboardManagementController(
+            SmcIpmbResponder(smc, node.clock), node.clock)),
+    }
+    return node, backends
+
+
+def mechanism_backend(name: str, seed: int = 0x5EED):
+    """A live backend for one registered mechanism, on its own testbed
+    — the factory the registry-parametrized failure tests build from,
+    so a newly declared :class:`~repro.mech.registry.MechanismSpec` is
+    exercised without touching any hand-maintained list."""
+    _, backends = fleet_node(seed=seed)  # imports register the fleet
+    from repro.mech.registry import get
+
+    get(name)  # unknown mechanisms fail loudly, naming the registry
+    return backends[name]
+
+
 def stampede_slice(cards: int = 128, seed: int = 0x5EED) -> Cluster:
     """The Figure 8 testbed: ``cards`` Stampede nodes, each with two
     Sandy Bridge-EP sockets and one Xeon Phi SE10P."""

@@ -1,13 +1,16 @@
 """Failure-injection tests: the system degrades loudly, not silently —
 and every injected failure leaves a fingerprint in the error counters."""
 
+import math
+
+import numpy as np
 import pytest
 
+from repro import api
 from repro.core import moneq
-from repro.obs.instruments import COLLECTOR_ERRORS, LAUNCHER_ERRORS
+from repro.core.moneq.backends import RaplMsrBackend
 from repro.core.moneq.config import MoneqConfig
 from repro.core.moneq.session import MoneqSession
-from repro.core.moneq.backends import RaplMsrBackend
 from repro.errors import (
     AccessDeniedError,
     DeadlockError,
@@ -19,9 +22,10 @@ from repro.errors import (
     ScifDisconnectedError,
 )
 from repro.host.permissions import USER
+from repro.obs.instruments import COLLECTOR_ERRORS, LAUNCHER_ERRORS
 from repro.runtime.launcher import Launcher
 from repro.runtime.ops import Barrier, Compute, Recv, Send
-from repro.testbeds import phi_node, rapl_node
+from repro.testbeds import mechanism_backend, phi_node, rapl_node
 from repro.xeonphi.ipmb import IpmbMessage, SmcIpmbResponder
 
 
@@ -126,6 +130,40 @@ class TestMoneqFailures:
         ticks = result.overhead.ticks
         node.events.run_until(node.clock.now + 5.0)
         assert session.ticks == ticks  # no posthumous collection
+
+
+class TestEveryMechanismDegrades:
+    """Fault injection over the *registry*, not a hand-kept list: a
+    newly declared MechanismSpec is pulled into these tests by
+    ``repro.api.mechanisms()`` the moment it registers — forgetting to
+    extend the failure suite is impossible by construction."""
+
+    @pytest.mark.parametrize("name", sorted(api.mechanisms()))
+    def test_total_fault_degrades_to_sensor_dark(self, name):
+        from repro.chaos.faults import default_kind
+
+        backend = mechanism_backend(name, seed=0xFA11)
+        plan = api.FaultPlan(seed=3, rules=(api.FaultRule(name, rate=1.0),))
+        kind = default_kind(name)
+        errors_before = COLLECTOR_ERRORS.value(name, kind)
+        t0 = backend.min_interval_s
+        times = t0 + np.arange(4, dtype=np.float64) * backend.min_interval_s
+        with plan.active():
+            block = backend.read_block(times)
+        # Every crossing failed: each row of every field reads dark.
+        for field in backend.fields():
+            assert np.isnan(block[field]).all()
+        # ... with the mechanism's own fingerprint in the error counter.
+        assert COLLECTOR_ERRORS.value(name, kind) > errors_before
+        assert plan.stats.dark == times.shape[0]
+
+    @pytest.mark.parametrize("name", sorted(api.mechanisms()))
+    def test_scalar_read_at_degrades_too(self, name):
+        backend = mechanism_backend(name, seed=0xFA12)
+        plan = api.FaultPlan(seed=4, rules=(api.FaultRule(name, rate=1.0),))
+        with plan.active():
+            reading = backend.read_at(backend.min_interval_s)
+        assert all(math.isnan(v) for v in reading.values())
 
 
 class TestDeviceFailures:
