@@ -27,6 +27,18 @@
                                         # regression, write nothing;
                                         # --smoke: reduced CI profile,
                                         # absolute floors, never writes)
+    python -m repro serve [--host H] [--port P] [--racks N]
+                          [--shards N] [--sweeps N]
+                                        # stand up a populated simulated
+                                        # machine and serve the live
+                                        # monitoring query service on it
+    python -m repro service bench [json_path] [--racks N] [--shards N]
+                                        [--requests N] [--sweeps N]
+                                        # sustained mixed query load ->
+                                        # BENCH_service.json
+    python -m repro service smoke       # boot in-process: /ready, one
+                                        # planned query, one 403 — the
+                                        # CI gate, exit 1 on any miss
     python -m repro mech list           # the declared mechanism registry
                                         # (channel, latency, min interval,
                                         # capabilities per vendor path)
@@ -200,6 +212,123 @@ def _bench_command(args: list[str]) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def _int_flags(args: list[str], flags: dict[str, object]
+               ) -> tuple[dict[str, object], list[str]]:
+    """Parse ``--name value`` pairs out of ``args`` into ``flags``
+    (values coerced to the default's type); returns the rest."""
+    positional: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        key = arg[2:].replace("-", "_") if arg.startswith("--") else None
+        if key in flags:
+            if i + 1 >= len(args):
+                raise ValueError(f"{arg} needs a value")
+            kind = type(flags[key])
+            flags[key] = kind(args[i + 1])
+            i += 2
+        else:
+            positional.append(arg)
+            i += 1
+    return flags, positional
+
+
+def _serve_command(args: list[str]) -> int:
+    """``repro serve`` — build the populated 64-shard rig (reduced with
+    ``--racks/--shards/--sweeps``) and serve it under wsgiref."""
+    from repro.service import build_rig, serve
+
+    try:
+        flags, extra = _int_flags(args, {
+            "host": "127.0.0.1", "port": 8340,
+            "racks": 64, "shards": 64, "sweeps": 2,
+        })
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    if extra:
+        print(f"serve: unexpected argument(s) {extra}", file=sys.stderr)
+        return 2
+    machine, app, _ = build_rig(racks=flags["racks"], shards=flags["shards"],
+                                sweeps=flags["sweeps"])
+    print(f"# rig: {flags['racks']} racks over "
+          f"{machine.envdb.store.n_shards} shards, "
+          f"{machine.envdb.store.records_ingested} records ingested")
+    serve(app, host=flags["host"], port=flags["port"])
+    return 0
+
+
+def _service_command(args: list[str]) -> int:
+    """``repro service bench|smoke`` — the load generator (writes
+    ``BENCH_service.json``) or the boot-and-probe CI gate."""
+    from repro.analysis.tables import format_table
+
+    usage = ("usage: python -m repro service bench [json_path] [--racks N] "
+             "[--shards N] [--requests N] [--sweeps N]\n"
+             "       python -m repro service smoke")
+    if not args:
+        print(usage, file=sys.stderr)
+        return 2
+
+    if args[0] == "bench":
+        from repro.service import write_bench
+
+        try:
+            flags, positional = _int_flags(args[1:], {
+                "racks": 64, "shards": 64, "requests": 400, "sweeps": 16,
+            })
+        except ValueError as exc:
+            print(f"service bench: {exc}", file=sys.stderr)
+            return 2
+        json_path = positional[0] if positional else "BENCH_service.json"
+        result = write_bench(json_path, racks=flags["racks"],
+                             shards=flags["shards"],
+                             requests=flags["requests"],
+                             sweeps=flags["sweeps"])
+        rows = [(key, f"{value:g}" if isinstance(value, float) else str(value))
+                for key, value in result.items()]
+        print(format_table(("metric", "value"), rows,
+                           title=f"[repro service bench] wrote {json_path}"))
+        return 0
+
+    if args[0] == "smoke":
+        from repro.service import ServiceApp, ServiceClient, build_rig
+        from repro.testbeds import fleet_node
+
+        machine, app, client = build_rig(racks=4, shards=4, sweeps=2)
+        _, backends = fleet_node(seed=0x510, hostname="smoke-host",
+                                 grant_msr_access=False)
+        gated = ServiceClient(ServiceApp(machine.envdb.store,
+                                         backends=backends))
+        checks = []
+        ready = client.get("/ready")
+        checks.append(("/ready is 200", ready.status == 200))
+        query = client.get("/v2/query/latest", {"table": "bpm"})
+        payload = query.json() if query.status == 200 else {}
+        checks.append(("planned query serves rows",
+                       query.status == 200 and payload.get("count", 0) > 0
+                       and payload.get("plan", {}).get("fan_out", 0) >= 1))
+        denied = gated.get("/v2/mech/rapl_msr/read", {"t": 10.0})
+        origin = (denied.json().get("error", {}).get("origin", "")
+                  if denied.status == 403 else "")
+        checks.append(("unprivileged msr read is a structured 403",
+                       denied.status == 403
+                       and origin == "repro.host.permissions"))
+        stream = client.get("/v2/stream/tail", {
+            "table": "bpm", "cursor": 0, "batches": 1})
+        lines = list(stream.lines())
+        checks.append(("streaming tail opens and ends",
+                       stream.status == 200
+                       and lines[0].get("marker") == "open"
+                       and lines[-1].get("marker") == "end"))
+        for label, ok in checks:
+            print(f"{'ok' if ok else 'FAIL'} - {label}")
+        return 0 if all(ok for _, ok in checks) else 1
+
+    print(usage, file=sys.stderr)
+    return 2
 
 
 def _mech_command(args: list[str]) -> int:
@@ -444,6 +573,10 @@ def main(argv: list[str] | None = None) -> int:
         return _store_command(args[1:])
     if command == "bench":
         return _bench_command(args[1:])
+    if command == "serve":
+        return _serve_command(args[1:])
+    if command == "service":
+        return _service_command(args[1:])
     if command == "mech":
         return _mech_command(args[1:])
     if command == "chaos":

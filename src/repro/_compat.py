@@ -1,0 +1,35 @@
+"""Deprecation machinery for the v1 -> v2 ``repro.api`` migration.
+
+The v2 surface is namespaced (``repro.api.session``, ``.data``,
+``.mech``, ``.chaos``, ``.exec``, ``.errors``, ``.service``); the flat
+v1 names keep resolving through :func:`deprecated_alias`, which warns
+**once per name per process** so a hot loop touching a legacy alias
+does not drown the log, and a test can still assert the warning fires.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Flat names already warned about this process (one warning per name).
+_WARNED: set[str] = set()
+
+
+def deprecated_alias(old: str, new: str, value):
+    """Return ``value``, emitting one :class:`DeprecationWarning` the
+    first time the flat name ``old`` is resolved, pointing at ``new``.
+    """
+    if old not in _WARNED:
+        _WARNED.add(old)
+        warnings.warn(
+            f"{old} is deprecated since API v2; import {new} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return value
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which aliases warned (so tests can assert the once-only
+    behavior deterministically)."""
+    _WARNED.clear()

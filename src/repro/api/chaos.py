@@ -1,0 +1,27 @@
+"""``repro.api.chaos`` — fault injection and chaos scenarios.
+
+Seeded fault plans and rules, the retry/breaker policies, the dark
+reading sentinel, and the named scenario suite.
+"""
+
+from __future__ import annotations
+
+from repro.chaos import (
+    DARK_READING,
+    SCENARIOS,
+    CircuitBreaker,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    run_scenario,
+)
+
+__all__ = [
+    "DARK_READING",
+    "SCENARIOS",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "run_scenario",
+]

@@ -1,0 +1,36 @@
+"""``repro.api.data`` — the environmental data plane.
+
+The sharded store and its query types (plans, readings, aggregates,
+tail batches), the BG/Q environmental database, the write batcher,
+and the analysis-side series constructors.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import series_from_readings, store_series
+from repro.bgq.envdb import EnvironmentalDatabase, EnvRecord
+from repro.store import (
+    Aggregate,
+    FlushReport,
+    QueryPlan,
+    Reading,
+    ShardedStore,
+    ShardMap,
+    TailBatch,
+    WriteBatcher,
+)
+
+__all__ = [
+    "Aggregate",
+    "EnvRecord",
+    "EnvironmentalDatabase",
+    "FlushReport",
+    "QueryPlan",
+    "Reading",
+    "ShardMap",
+    "ShardedStore",
+    "TailBatch",
+    "WriteBatcher",
+    "series_from_readings",
+    "store_series",
+]

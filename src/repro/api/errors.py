@@ -1,0 +1,34 @@
+"""``repro.api.errors`` — the supported exception hierarchy.
+
+Everything raises under :class:`~repro.errors.ReproError`; v2 adds
+:class:`~repro.errors.AccessDeniedError`, the POSIX-style denial the
+permission gate (and the service's 403 envelope) originates from.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    AccessDeniedError,
+    ChaosError,
+    ConfigError,
+    DeviceError,
+    ExperimentExecutionError,
+    MoneqBufferFullError,
+    MoneqError,
+    MoneqStateError,
+    ReproError,
+    SensorError,
+)
+
+__all__ = [
+    "AccessDeniedError",
+    "ChaosError",
+    "ConfigError",
+    "DeviceError",
+    "ExperimentExecutionError",
+    "MoneqBufferFullError",
+    "MoneqError",
+    "MoneqStateError",
+    "ReproError",
+    "SensorError",
+]

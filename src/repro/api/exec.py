@@ -1,0 +1,25 @@
+"""``repro.api.exec`` — the experiment execution engine.
+
+Process-parallel experiment specs and reports, plus the
+content-addressed result cache.
+"""
+
+from __future__ import annotations
+
+from repro.exec import (
+    CacheStats,
+    Engine,
+    EngineStats,
+    ExperimentReport,
+    ExperimentSpec,
+    ResultCache,
+)
+
+__all__ = [
+    "CacheStats",
+    "Engine",
+    "EngineStats",
+    "ExperimentReport",
+    "ExperimentSpec",
+    "ResultCache",
+]

@@ -102,8 +102,9 @@ RAPL_MSR_SPEC = register(MechanismSpec(
     platform="RAPL",
     channel=AccessChannel(
         "msr-chardev", CpuPackage.MSR_READ_LATENCY_S,
-        permission="chmod on /dev/cpu/*/msr",
-        description="pread of the energy-status MSR, one per domain",
+        permission="root",
+        description="pread of the energy-status MSR, one per domain; "
+                    "root-only until the chmod ritual opens /dev/cpu/*/msr",
     ),
     freshness=_RAPL_FRESHNESS,
     capability=RAPL_DECL,
@@ -237,9 +238,15 @@ class RaplMsrBackend(Mechanism):
     mechanism = RAPL_MSR_SPEC.name
     MIN_INTERVAL_S = RAPL_MSR_SPEC.min_interval_s
 
-    def __init__(self, package: CpuPackage, label: str = "socket0"):
+    def __init__(self, package: CpuPackage, label: str = "socket0",
+                 node=None, gate_path: str = "/dev/cpu/0/msr"):
         super().__init__(RAPL_MSR_SPEC, MsrCounterSource(package), label=label)
         self.package = package
+        if node is not None:
+            # Credentialed reads check the real chardev node, so they
+            # honor the driver's current chmod state, not just the
+            # declaration.
+            self.bind_gate(node.vfs, gate_path)
 
 
 class RaplPowercapBackend(Mechanism):

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.host.permissions import R_OK, Credentials
+from repro.host.permissions import check_access as _posix_check_access
 from repro.obs.instruments import CollectorInstrument, collector
 
 
@@ -109,6 +111,32 @@ class AccessChannel:
         query cost is a constructor knob in the paper's experiments)."""
         return dataclasses.replace(
             self, per_query_latency_s=per_query_latency_s
+        )
+
+    @property
+    def requires_privilege(self) -> bool:
+        """Whether the channel is gated at all ("none" channels are
+        world-readable or out-of-band)."""
+        return self.permission != "none"
+
+    def gate_mode(self) -> int:
+        """The POSIX mode bits of the channel's declared gate: a
+        world-readable node for "none", a root-only one otherwise —
+        what the msr chardev looks like *before* the chmod ritual."""
+        return 0o600 if self.requires_privilege else 0o444
+
+    def check_access(self, creds: Credentials, path: str = "") -> None:
+        """Enforce the declared permission requirement for ``creds``.
+
+        Routed through the same :func:`repro.host.permissions.check_access`
+        the VFS runs on every open, against a root-owned node of
+        :meth:`gate_mode` — so a privileged channel denies exactly the
+        way the real chardev would, with the same
+        :class:`~repro.errors.AccessDeniedError`.
+        """
+        _posix_check_access(
+            self.gate_mode(), 0, 0, creds, R_OK,
+            path or f"channel {self.name} ({self.permission})",
         )
 
     def instrument(self, mechanism: str) -> CollectorInstrument:

@@ -16,7 +16,8 @@ import numpy as np
 from repro.chaos.injector import DARK_READING
 from repro.core.capability import PlatformCapabilities, platform_capabilities
 from repro.core.moneq.backend import Backend
-from repro.errors import ConfigError
+from repro.errors import AccessDeniedError, ConfigError
+from repro.host.permissions import Credentials
 from repro.mech.channel import AccessChannel
 from repro.mech.registry import MechanismSpec
 from repro.mech.source import SensorSource, empty_block
@@ -48,6 +49,8 @@ class Mechanism(Backend):
         self.platform = spec.platform
         self.mechanism = spec.name
         self._instrument = self.channel.instrument(spec.name)
+        self._gate_vfs = None
+        self._gate_path = ""
 
     @property
     def min_interval_s(self) -> float:
@@ -64,7 +67,39 @@ class Mechanism(Backend):
     def fields(self) -> list[str]:
         return list(self.spec.fields)
 
-    def read_block(self, times: np.ndarray) -> np.ndarray:
+    def bind_gate(self, vfs, path: str) -> None:
+        """Bind the channel's permission gate to a live VFS node (the
+        msr backend binds its ``/dev/cpu/<n>/msr`` chardev).  Once
+        bound, :meth:`check_access` opens that node with the caller's
+        credentials, so the check honors the node's *current* mode —
+        the chmod ritual opens the path for everyone, exactly as on a
+        real deployment."""
+        self._gate_vfs = vfs
+        self._gate_path = path
+
+    def check_access(self, creds: Credentials) -> None:
+        """Enforce the channel's permission requirement for ``creds``,
+        raising :class:`~repro.errors.AccessDeniedError` (and counting a
+        ``permission_denied`` collector error) on denial.
+
+        With a gate bound (:meth:`bind_gate`) the check is a real open
+        of the gate node under ``creds``; otherwise it falls back to
+        the declaration-level check against the channel's
+        :meth:`~repro.mech.channel.AccessChannel.gate_mode`.
+        """
+        try:
+            if self._gate_vfs is not None:
+                self._gate_vfs.open(self._gate_path, "r", creds).close()
+            else:
+                self.channel.check_access(creds)
+        except AccessDeniedError:
+            self._instrument.record_error("permission_denied")
+            raise
+
+    def read_block(self, times: np.ndarray,
+                   creds: Credentials | None = None) -> np.ndarray:
+        if creds is not None:
+            self.check_access(creds)
         times = np.asarray(times, dtype=np.float64)
         out = empty_block(self.spec.fields, times.shape[0])
         if times.shape[0] == 0:
@@ -91,8 +126,9 @@ class Mechanism(Backend):
                     out[name][dark] = DARK_READING
         return out
 
-    def read_at(self, t: float) -> dict[str, float]:
-        block = self.read_block(np.array([t], dtype=np.float64))
+    def read_at(self, t: float,
+                creds: Credentials | None = None) -> dict[str, float]:
+        block = self.read_block(np.array([t], dtype=np.float64), creds=creds)
         return {name: float(block[name][0]) for name in self.spec.fields}
 
     def capabilities(self) -> PlatformCapabilities:

@@ -234,6 +234,33 @@ RETRY_EXHAUSTED = _REGISTRY.counter(
     labels=("mechanism",),
 )
 
+# -- Query service -----------------------------------------------------------
+
+SERVICE_REQUESTS = _REGISTRY.counter(
+    "repro_service_requests_total",
+    "HTTP requests served by the query service, by endpoint and status",
+    labels=("endpoint", "status"),
+)
+SERVICE_REQUEST_SECONDS = _REGISTRY.histogram(
+    "repro_service_request_seconds",
+    "Per-request wall time, by endpoint",
+    buckets=(1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0),
+    labels=("endpoint",),
+)
+SERVICE_DENIALS = _REGISTRY.counter(
+    "repro_service_denials_total",
+    "Requests refused by the tenant permission gate, by tenant",
+    labels=("tenant",),
+)
+SERVICE_STREAM_ROWS = _REGISTRY.counter(
+    "repro_service_stream_rows_total",
+    "Readings delivered over streaming tails",
+)
+SERVICE_STREAM_GAPS = _REGISTRY.counter(
+    "repro_service_stream_gaps_total",
+    "Gap markers emitted by streaming tails for dark shards",
+)
+
 # -- Experiment execution engine --------------------------------------------
 
 EXEC_TASKS = _REGISTRY.counter(

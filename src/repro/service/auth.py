@@ -1,0 +1,90 @@
+"""Per-tenant authentication: HTTP identity -> POSIX credentials.
+
+A tenant is a named principal bound to the *same*
+:class:`~repro.host.permissions.Credentials` the host layer uses for
+chardev opens — there is one permission model end to end.  The service
+authenticates (who is asking?) from the ``X-Repro-Tenant`` header (or
+``Authorization: Bearer <tenant>``); authorization (may they?) happens
+wherever the read lands, at the POSIX gate of the mechanism's access
+channel.  An unprivileged tenant querying a root-gated mechanism is
+denied by :mod:`repro.host.permissions` — the service only renders the
+denial as a structured 403.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.permissions import ROOT, USER, Credentials
+from repro.service.errors import Unauthorized
+
+#: Header carrying the tenant name (WSGI environ key form).
+TENANT_HEADER = "HTTP_X_REPRO_TENANT"
+AUTHORIZATION_HEADER = "HTTP_AUTHORIZATION"
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One service principal and the POSIX identity it acts as."""
+
+    name: str
+    credentials: Credentials
+
+    @property
+    def is_privileged(self) -> bool:
+        return self.credentials.is_root
+
+
+class TenantRegistry:
+    """The tenants a service instance will authenticate.
+
+    ``anonymous`` names the tenant an unauthenticated request acts as
+    (the unprivileged profiling user by default); ``None`` makes
+    anonymous requests fail with 401.
+    """
+
+    def __init__(self, tenants: list[Tenant] | None = None,
+                 anonymous: str | None = "hpcuser"):
+        self._tenants: dict[str, Tenant] = {}
+        for tenant in tenants if tenants is not None else default_tenants():
+            self.add(tenant)
+        self.anonymous = anonymous
+
+    def add(self, tenant: Tenant) -> None:
+        self._tenants[tenant.name] = tenant
+
+    def names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def get(self, name: str) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise Unauthorized(f"unknown tenant {name!r}")
+        return tenant
+
+    def authenticate(self, environ: dict) -> Tenant:
+        """Resolve the WSGI request's tenant.
+
+        ``X-Repro-Tenant: <name>`` wins; ``Authorization: Bearer
+        <name>`` is accepted for bearer-style clients; a request with
+        neither acts as the anonymous tenant (or 401 when disabled).
+        """
+        name = environ.get(TENANT_HEADER, "").strip()
+        if not name:
+            auth = environ.get(AUTHORIZATION_HEADER, "").strip()
+            if auth.lower().startswith("bearer "):
+                name = auth[len("bearer "):].strip()
+        if not name:
+            if self.anonymous is None:
+                raise Unauthorized("request carries no tenant identity")
+            name = self.anonymous
+        return self.get(name)
+
+
+def default_tenants() -> list[Tenant]:
+    """The deployment the paper describes: a root operator and the
+    unprivileged profiling user."""
+    return [
+        Tenant("root", ROOT),
+        Tenant("hpcuser", USER),
+    ]

@@ -1,0 +1,113 @@
+"""Streaming tail of fresh readings, with shard-dark degradation.
+
+The stream is a chunked NDJSON iterator: one JSON object per line,
+either a reading or a marker.  It polls the store's ingest-ordered
+tail cursor in bounded pages, so a consumer resumes exactly where it
+left off and a slow consumer never blocks ingest (per-shard locks are
+held only for the page copy).
+
+Degradation reuses :mod:`repro.chaos`: the store's shards are probed
+through a ``store-shard`` access channel, so an active
+:class:`~repro.chaos.faults.FaultPlan` with a ``mechanism="store"``
+rule takes shards dark mid-stream exactly like it takes a sensor bus
+dark mid-session.  A stream crossing a dark shard emits a **gap
+marker** — the consumer knows rows are missing — and keeps going;
+an aggregate query over a dark shard refuses with 503 instead of
+serving a partial sum silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.chaos.injector import injector_for
+from repro.mech.channel import AccessChannel
+from repro.obs.instruments import SERVICE_STREAM_GAPS, SERVICE_STREAM_ROWS
+from repro.store.engine import ShardedStore
+from repro.store.reading import Reading
+
+#: The store's query path as a faultable channel: chaos rules target
+#: ``mechanism="store"`` with one device label per shard (``shard3``).
+STORE_CHANNEL = AccessChannel(
+    "store-shard", 0.0,
+    description="one store shard's query path, as a faultable channel",
+)
+
+
+def dark_shards(store: ShardedStore, now: float) -> set[int]:
+    """The shard indices the active fault plan takes dark at ``now``.
+
+    With no plan installed this is one injector lookup returning an
+    empty set — queries outside chaos runs pay a single check, like
+    the mechanism read path.
+    """
+    out: set[int] = set()
+    probe = np.array([now], dtype=np.float64)
+    for index in range(store.n_shards):
+        injector = injector_for(STORE_CHANNEL, "store", f"shard{index}", 1)
+        if injector is None:
+            break
+        if bool(injector.cross_block(probe)[0]):
+            out.add(index)
+    return out
+
+
+def reading_json(reading: Reading) -> dict:
+    """The wire shape of one reading (dark fields serialize as NaN)."""
+    return {
+        "t": reading.timestamp,
+        "location": reading.location,
+        "mechanism": reading.mechanism,
+        "values": dict(reading.values),
+    }
+
+
+def _line(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True) + "\n"
+
+
+def tail_stream(store: ShardedStore, table: str, cursor: int | None = None,
+                location_prefix: str = "", page: int = 256,
+                batches: int | None = 10,
+                now: Callable[[], float] = lambda: 0.0,
+                pump: Callable[[int], None] | None = None) -> Iterator[str]:
+    """Yield the NDJSON lines of one tail stream.
+
+    Each poll emits gap markers for shards that went dark since the
+    last poll, then one line per fresh reading (at most ``page``), then
+    advances the cursor.  ``cursor=None`` starts at the ingest head —
+    only readings ingested after the stream opened.  ``batches`` bounds
+    the number of polls (``None`` streams until the consumer hangs up —
+    the HTTP endpoint always bounds it).  ``pump`` runs between polls;
+    servers wired to a simulated machine advance its event queue there
+    so the stream observes sweeps landing in virtual time.
+    """
+    position = store.ingest_cursor if cursor is None else cursor
+    yield _line({"marker": "open", "table": table, "cursor": position,
+                 "prefix": location_prefix})
+    known_dark: set[int] = set()
+    poll = 0
+    while batches is None or poll < batches:
+        poll += 1
+        t = now()
+        dark = dark_shards(store, t)
+        fresh_dark = sorted(dark - known_dark)
+        if fresh_dark:
+            SERVICE_STREAM_GAPS.inc(len(fresh_dark))
+            yield _line({"marker": "gap", "shards": fresh_dark, "t": t,
+                         "cursor": position,
+                         "detail": "shards dark under the active fault plan; "
+                                   "rows from them may be missing"})
+        known_dark = dark
+        batch = store.tail(table, position, location_prefix, limit=page)
+        position = batch.cursor
+        if batch.readings:
+            SERVICE_STREAM_ROWS.inc(len(batch.readings))
+            for reading in batch.readings:
+                yield _line(reading_json(reading))
+        if pump is not None:
+            pump(poll)
+    yield _line({"marker": "end", "cursor": position, "polls": poll})

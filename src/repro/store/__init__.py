@@ -15,7 +15,8 @@ repeated range queries O(windows) instead of O(records).
 * :mod:`repro.store.aggregate` — the per-shard min/mean/max window cache;
 * :mod:`repro.store.planner` — shard routing + cache-use planning;
 * :mod:`repro.store.engine` — :class:`ShardedStore` with the
-  ``range`` / ``prefix`` / ``aggregate`` / ``latest`` query API.
+  ``range`` / ``prefix`` / ``aggregate`` / ``latest`` / ``tail``
+  query API (``tail`` resumes from a :class:`TailBatch` cursor).
 
 :mod:`repro.bgq.envdb` routes its storage through this package; the
 ``repro store bench`` CLI subcommand exercises it end to end.
@@ -25,7 +26,7 @@ from __future__ import annotations
 
 from repro.store.aggregate import Aggregate, AggregateCache, window_index
 from repro.store.batcher import WriteBatcher
-from repro.store.engine import FlushReport, ShardedStore
+from repro.store.engine import FlushReport, ShardedStore, TailBatch
 from repro.store.planner import QUERY_KINDS, QueryPlan, plan_query
 from repro.store.reading import Reading
 from repro.store.shards import ShardMap, shard_key
@@ -39,6 +40,7 @@ __all__ = [
     "Reading",
     "ShardMap",
     "ShardedStore",
+    "TailBatch",
     "WriteBatcher",
     "plan_query",
     "shard_key",

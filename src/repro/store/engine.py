@@ -57,15 +57,40 @@ class FlushReport:
         return self.dropped / self.offered if self.offered else 0.0
 
 
-class _ShardTable:
-    """One table's sorted run on one shard: (timestamp, seq) order."""
+@dataclass(frozen=True)
+class TailBatch:
+    """One page of a tail: fresh records plus the resume cursor.
 
-    __slots__ = ("keys", "records", "latest")
+    ``cursor`` is a global ingest-sequence watermark: pass it back to
+    :meth:`ShardedStore.tail` to receive only records ingested after
+    this batch was taken.  Cursors are value objects — they survive
+    across queries, streams and (serialized) service clients.
+    """
+
+    readings: tuple[Reading, ...]
+    cursor: int
+
+    def __len__(self) -> int:
+        return len(self.readings)
+
+
+class _ShardTable:
+    """One table's sorted run on one shard: (timestamp, seq) order.
+
+    Beside the time-ordered run, the table keeps an *ingest-ordered*
+    log (by global sequence number) so tail cursors can resume exactly
+    where they left off regardless of record timestamps — late-arriving
+    backfills still reach a tailing consumer.
+    """
+
+    __slots__ = ("keys", "records", "latest", "log_seqs", "log_records")
 
     def __init__(self):
         self.keys: list[tuple[float, int]] = []
         self.records: list[Reading] = []
         self.latest: dict[str, Reading] = {}
+        self.log_seqs: list[int] = []
+        self.log_records: list[Reading] = []
 
     def insert(self, reading: Reading, seq: int) -> None:
         key = (reading.timestamp, seq)
@@ -75,12 +100,27 @@ class _ShardTable:
         newest = self.latest.get(reading.location)
         if newest is None or reading.timestamp >= newest.timestamp:
             self.latest[reading.location] = reading
+        # Sequence numbers are allocated under the store's global lock
+        # but inserted under the shard's, so a concurrent writer can
+        # land out of order here; the common case is a pure append.
+        if self.log_seqs and seq < self.log_seqs[-1]:
+            pos = bisect_left(self.log_seqs, seq)
+            self.log_seqs.insert(pos, seq)
+            self.log_records.insert(pos, reading)
+        else:
+            self.log_seqs.append(seq)
+            self.log_records.append(reading)
 
     def slice(self, t0: float, t1: float) -> tuple[list[tuple[float, int]],
                                                    list[Reading]]:
         lo = bisect_left(self.keys, (t0,))
         hi = bisect_left(self.keys, (t1, _INF))
         return self.keys[lo:hi], self.records[lo:hi]
+
+    def tail_slice(self, cursor: int) -> tuple[list[int], list[Reading]]:
+        """Log entries with sequence number >= ``cursor``, ingest order."""
+        lo = bisect_left(self.log_seqs, cursor)
+        return self.log_seqs[lo:], self.log_records[lo:]
 
 
 class _Shard:
@@ -278,6 +318,54 @@ class ShardedStore:
         STORE_QUERIES.labels("aggregate").inc()
         STORE_QUERY_ROWS.inc(len(out))
         return out
+
+    def tail(self, table: str, cursor: int = 0, location_prefix: str = "",
+             limit: int | None = None) -> TailBatch:
+        """Records ingested at or after ``cursor`` (a global ingest
+        sequence number), in ingest order, merged across shards.
+
+        Returns a :class:`TailBatch` whose ``cursor`` resumes the tail:
+        ``tail(table, batch.cursor)`` yields only records ingested
+        after ``batch`` was taken.  ``cursor=0`` starts from the first
+        record ever ingested; ``limit`` caps the page size (the
+        streaming endpoint polls in bounded pages).
+        """
+        if cursor < 0:
+            raise ConfigError(f"tail cursor must be >= 0, got {cursor}")
+        if limit is not None and limit < 1:
+            raise ConfigError(f"tail limit must be >= 1, got {limit}")
+        plan = self.plan("tail", table, location_prefix)
+
+        def one_shard(index: int):
+            shard = self._shards[index]
+            with shard.lock:
+                seqs, records = shard.tables[table].tail_slice(cursor)
+            return list(zip(seqs, records))
+
+        runs = self._map_shards(one_shard, plan.shards)
+        merged = runs[0] if len(runs) == 1 else heapq.merge(
+            *runs, key=lambda pair: pair[0])
+        out: list[Reading] = []
+        next_cursor = cursor
+        for seq, reading in merged:
+            if location_prefix and not reading.location.startswith(
+                    location_prefix):
+                next_cursor = seq + 1
+                continue
+            if limit is not None and len(out) >= limit:
+                break
+            out.append(reading)
+            next_cursor = seq + 1
+        STORE_QUERIES.labels("tail").inc()
+        STORE_QUERY_ROWS.inc(len(out))
+        return TailBatch(readings=tuple(out), cursor=next_cursor)
+
+    @property
+    def ingest_cursor(self) -> int:
+        """The cursor one past the newest ingested record — start a
+        tail here to receive only records ingested from now on."""
+        with self._seq_lock:
+            return self._seq
 
     def _scan_shards(self, plan: QueryPlan, t0: float, t1: float):
         def one_shard(index: int):

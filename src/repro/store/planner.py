@@ -16,7 +16,7 @@ from repro.errors import ConfigError
 from repro.store.shards import ShardMap
 
 #: Query kinds the engine executes.
-QUERY_KINDS = ("range", "prefix", "aggregate", "latest")
+QUERY_KINDS = ("range", "prefix", "aggregate", "latest", "tail")
 
 
 @dataclass(frozen=True)

@@ -120,7 +120,8 @@ def multi_device_node(seed: int = 0x5EED,
 
 
 def fleet_node(seed: int = 0x5EED,
-               hostname: str = "fleet-host") -> tuple[Node, dict]:
+               hostname: str = "fleet-host",
+               grant_msr_access: bool = True) -> tuple[Node, dict]:
     """One node carrying **every registered vendor path** — the whole
     mechanism fleet on a shared clock, in registry order.
 
@@ -129,6 +130,11 @@ def fleet_node(seed: int = 0x5EED,
     over one Sandy Bridge-EP socket, NVML on a K20, and the Phi's
     in-band, daemon and out-of-band paths.  The chaos scenarios and the
     fleet-wide failure tests run their sessions on this rig.
+
+    ``grant_msr_access=False`` skips the paper's chmod ritual, leaving
+    ``/dev/cpu/*/msr`` root-only — credentialed reads of ``rapl_msr``
+    by an unprivileged user then fail at the chardev gate (the service
+    testbed uses this to exercise its 403 path).
     """
     from repro.bgq.emon import EmonInterface
     from repro.bgq.topology import NodeBoard
@@ -149,7 +155,9 @@ def fleet_node(seed: int = 0x5EED,
     package = CpuPackage(SANDY_BRIDGE_EP, rng=node.rng.fork("cpu0"))
     node.attach("cpu", package)
     install_msr_driver(node)
-    node.kernel.modprobe("msr").grant_readonly_access()
+    driver = node.kernel.modprobe("msr")
+    if grant_msr_access:
+        driver.grant_readonly_access()
     install_powercap_driver(node)
     node.kernel.modprobe("intel_rapl")
 
@@ -170,7 +178,8 @@ def fleet_node(seed: int = 0x5EED,
 
     backends = {
         "emon": BgqEmonBackend(EmonInterface(board, node.clock)),
-        "rapl_msr": RaplMsrBackend(package, label=f"{hostname}-socket0"),
+        "rapl_msr": RaplMsrBackend(package, label=f"{hostname}-socket0",
+                                   node=node),
         "rapl_powercap": RaplPowercapBackend(node),
         "rapl_perf": RaplPerfBackend(PerfEventRapl(node, package)),
         "nvml": NvmlBackend(gpu),

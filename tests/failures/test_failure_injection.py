@@ -6,7 +6,8 @@ import math
 import numpy as np
 import pytest
 
-from repro import api
+from repro.api.chaos import FaultPlan, FaultRule
+from repro.api.mech import mechanisms
 from repro.core import moneq
 from repro.core.moneq.backends import RaplMsrBackend
 from repro.core.moneq.config import MoneqConfig
@@ -135,15 +136,15 @@ class TestMoneqFailures:
 class TestEveryMechanismDegrades:
     """Fault injection over the *registry*, not a hand-kept list: a
     newly declared MechanismSpec is pulled into these tests by
-    ``repro.api.mechanisms()`` the moment it registers — forgetting to
+    ``repro.api.mech.mechanisms()`` the moment it registers — forgetting to
     extend the failure suite is impossible by construction."""
 
-    @pytest.mark.parametrize("name", sorted(api.mechanisms()))
+    @pytest.mark.parametrize("name", sorted(mechanisms()))
     def test_total_fault_degrades_to_sensor_dark(self, name):
         from repro.chaos.faults import default_kind
 
         backend = mechanism_backend(name, seed=0xFA11)
-        plan = api.FaultPlan(seed=3, rules=(api.FaultRule(name, rate=1.0),))
+        plan = FaultPlan(seed=3, rules=(FaultRule(name, rate=1.0),))
         kind = default_kind(name)
         errors_before = COLLECTOR_ERRORS.value(name, kind)
         t0 = backend.min_interval_s
@@ -157,10 +158,10 @@ class TestEveryMechanismDegrades:
         assert COLLECTOR_ERRORS.value(name, kind) > errors_before
         assert plan.stats.dark == times.shape[0]
 
-    @pytest.mark.parametrize("name", sorted(api.mechanisms()))
+    @pytest.mark.parametrize("name", sorted(mechanisms()))
     def test_scalar_read_at_degrades_too(self, name):
         backend = mechanism_backend(name, seed=0xFA12)
-        plan = api.FaultPlan(seed=4, rules=(api.FaultRule(name, rate=1.0),))
+        plan = FaultPlan(seed=4, rules=(FaultRule(name, rate=1.0),))
         with plan.active():
             reading = backend.read_at(backend.min_interval_s)
         assert all(math.isnan(v) for v in reading.values())

@@ -1,0 +1,38 @@
+"""The mechanism-layer permission gate is the host POSIX layer's —
+same check, same error — not a parallel implementation."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.host.permissions import R_OK, ROOT, USER, check_access, mode_allows
+from repro.host.vfs import VirtualFileSystem
+from repro.mech import AccessChannel
+
+
+class TestGateParity:
+    def test_channel_denial_is_the_posix_denial(self):
+        channel = AccessChannel("msr-chardev", 0.03e-3, permission="root")
+        with pytest.raises(AccessDeniedError) as from_channel:
+            channel.check_access(USER, path="/dev/cpu/0/msr")
+        with pytest.raises(AccessDeniedError) as from_posix:
+            check_access(0o600, 0, 0, USER, R_OK, "/dev/cpu/0/msr")
+        assert str(from_channel.value) == str(from_posix.value)
+
+    def test_channel_gate_matches_vfs_open(self):
+        # A privileged channel's declaration-level gate behaves like a
+        # root-owned 0o600 file in the VFS: USER denied, ROOT admitted.
+        vfs = VirtualFileSystem()
+        vfs.create_file("/gate", mode=0o600, creds=ROOT)
+        channel = AccessChannel("gate", 1e-3, permission="root")
+        with pytest.raises(AccessDeniedError):
+            vfs.open("/gate", "r", USER)
+        with pytest.raises(AccessDeniedError):
+            channel.check_access(USER)
+        vfs.open("/gate", "r", ROOT).close()
+        channel.check_access(ROOT)
+
+    def test_gate_modes_follow_mode_allows(self):
+        gated = AccessChannel("a", 1e-3, permission="root")
+        open_ = AccessChannel("b", 1e-3)
+        assert not mode_allows(gated.gate_mode(), 0, 0, USER, R_OK)
+        assert mode_allows(open_.gate_mode(), 0, 0, USER, R_OK)

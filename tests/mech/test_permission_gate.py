@@ -1,0 +1,100 @@
+"""The ``AccessChannel.permission`` declaration is *enforced*: a
+credentialed read of a privileged mechanism routes through the same
+POSIX check the real chardev open would, and fails the same way.
+
+Before this gate existed, ``permission="root"`` mechanisms read fine as
+``USER`` — the field was declarative only (the bug tracked on the
+roadmap's permission-wiring item).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.host.permissions import ROOT, USER
+from repro.mech import AccessChannel
+from repro.obs.instruments import COLLECTOR_ERRORS
+from repro.testbeds import fleet_node
+
+
+class TestChannelGate:
+    def test_none_channels_are_ungated(self):
+        channel = AccessChannel("nvml-library", 1.3e-3)
+        assert not channel.requires_privilege
+        assert channel.gate_mode() == 0o444
+        channel.check_access(USER)  # no raise
+
+    def test_privileged_channel_denies_user(self):
+        channel = AccessChannel("msr-chardev", 0.03e-3, permission="root")
+        assert channel.requires_privilege
+        assert channel.gate_mode() == 0o600
+        with pytest.raises(AccessDeniedError) as exc:
+            channel.check_access(USER)
+        # The error is the POSIX layer's, naming uid and mode.
+        assert "uid 1000" in str(exc.value)
+        assert "600" in str(exc.value)
+
+    def test_privileged_channel_admits_root(self):
+        channel = AccessChannel("msr-chardev", 0.03e-3, permission="root")
+        channel.check_access(ROOT)  # no raise
+
+    def test_msr_spec_declares_root(self):
+        from repro.core.moneq.backends import RAPL_MSR_SPEC
+
+        assert RAPL_MSR_SPEC.channel.permission == "root"
+        assert RAPL_MSR_SPEC.channel.requires_privilege
+
+
+class TestMechanismGate:
+    def test_credentialed_read_denied_before_chmod_ritual(self):
+        node, backends = fleet_node(seed=0xACCE, grant_msr_access=False)
+        msr = backends["rapl_msr"]
+        before = COLLECTOR_ERRORS.value("rapl_msr", "permission_denied")
+        with pytest.raises(AccessDeniedError) as exc:
+            msr.read_at(1.0, creds=USER)
+        # The denial happens at the real chardev node, not a shadow
+        # check: the path in the message is the VFS gate.
+        assert "/dev/cpu/0/msr" in str(exc.value)
+        assert COLLECTOR_ERRORS.value("rapl_msr", "permission_denied") == \
+            before + 1
+
+    def test_chmod_ritual_opens_the_gate(self):
+        node, backends = fleet_node(seed=0xACCE, grant_msr_access=False)
+        msr = backends["rapl_msr"]
+        with pytest.raises(AccessDeniedError):
+            msr.read_block(np.array([1.0]), creds=USER)
+        node.kernel.module("msr").grant_readonly_access()
+        sample = msr.read_at(1.0, creds=USER)
+        assert set(sample) == set(msr.fields())
+
+    def test_root_reads_through_closed_gate(self):
+        _, backends = fleet_node(seed=0xACCE, grant_msr_access=False)
+        sample = backends["rapl_msr"].read_at(1.0, creds=ROOT)
+        assert set(sample) == set(backends["rapl_msr"].fields())
+
+    def test_credentialless_reads_stay_trusted(self):
+        # The in-band session hot path passes no creds and is not
+        # gated — sessions run as the deployed profiler, and the block
+        # engine's byte-identity story must not depend on chmod state.
+        _, backends = fleet_node(seed=0xACCE, grant_msr_access=False)
+        block = backends["rapl_msr"].read_block(np.array([1.0, 2.0]))
+        assert block.shape == (2,)
+
+    def test_unbound_mechanism_falls_back_to_declaration(self):
+        # A mechanism without a bound VFS gate still enforces the
+        # declared permission (against the pre-ritual gate mode).
+        from repro.core.moneq.backends import RaplMsrBackend
+        from repro.rapl.package import SANDY_BRIDGE_EP, CpuPackage
+        from repro.sim.rng import RngRegistry
+
+        msr = RaplMsrBackend(CpuPackage(SANDY_BRIDGE_EP,
+                                        rng=RngRegistry(7).fork("cpu0")))
+        with pytest.raises(AccessDeniedError):
+            msr.read_at(1.0, creds=USER)
+        msr.read_at(1.0, creds=ROOT)
+
+    def test_ungated_mechanisms_admit_user(self):
+        _, backends = fleet_node(seed=0xACCE, grant_msr_access=False)
+        for name in ("nvml", "micras", "ipmb", "rapl_powercap"):
+            sample = backends[name].read_at(1.0, creds=USER)
+            assert set(sample) == set(backends[name].fields())

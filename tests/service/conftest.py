@@ -1,0 +1,27 @@
+"""Service test fixtures: zeroed metric globals, one shared small rig."""
+
+import pytest
+
+import repro.obs as obs
+from repro.service import ServiceClient, build_rig
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+    obs.set_enabled(True)
+
+
+@pytest.fixture(scope="module")
+def rig():
+    """(machine, app, client) over a 4-rack, 4-shard envdb with two
+    sweeps ingested — module-scoped: tests must not mutate the store."""
+    return build_rig(racks=4, shards=4, sweeps=2, seed=21)
+
+
+@pytest.fixture()
+def client(rig):
+    return ServiceClient(rig[1])

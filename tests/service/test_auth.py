@@ -1,0 +1,47 @@
+"""Tenant authentication: HTTP identity to POSIX credentials."""
+
+import pytest
+
+from repro.host.permissions import ROOT, USER, Credentials
+from repro.service import Tenant, TenantRegistry, Unauthorized, default_tenants
+
+
+class TestTenantRegistry:
+    def test_default_tenants_are_the_papers_identities(self):
+        registry = TenantRegistry()
+        assert registry.names() == ["hpcuser", "root"]
+        assert registry.get("root").credentials == ROOT
+        assert registry.get("hpcuser").credentials == USER
+        assert registry.get("root").is_privileged
+        assert not registry.get("hpcuser").is_privileged
+
+    def test_header_wins(self):
+        registry = TenantRegistry()
+        tenant = registry.authenticate({"HTTP_X_REPRO_TENANT": "root"})
+        assert tenant.name == "root"
+
+    def test_bearer_token_accepted(self):
+        registry = TenantRegistry()
+        tenant = registry.authenticate({"HTTP_AUTHORIZATION": "Bearer root"})
+        assert tenant.name == "root"
+
+    def test_anonymous_is_the_unprivileged_user(self):
+        tenant = TenantRegistry().authenticate({})
+        assert tenant.name == "hpcuser"
+        assert not tenant.is_privileged
+
+    def test_anonymous_can_be_disabled(self):
+        registry = TenantRegistry(anonymous=None)
+        with pytest.raises(Unauthorized):
+            registry.authenticate({})
+
+    def test_unknown_tenant_rejected(self):
+        with pytest.raises(Unauthorized, match="intruder"):
+            TenantRegistry().authenticate(
+                {"HTTP_X_REPRO_TENANT": "intruder"})
+
+    def test_custom_tenant(self):
+        registry = TenantRegistry(default_tenants() + [
+            Tenant("ops", Credentials(uid=2000, gid=2000, username="ops"))
+        ])
+        assert registry.get("ops").credentials.uid == 2000

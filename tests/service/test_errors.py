@@ -1,0 +1,49 @@
+"""The structured error envelope and its hierarchy."""
+
+from repro.errors import ReproError
+from repro.service import (
+    BadRequest,
+    Forbidden,
+    MethodNotAllowed,
+    NotFound,
+    ServiceError,
+    Unauthorized,
+    Unavailable,
+)
+
+
+class TestEnvelope:
+    def test_every_error_is_a_repro_error(self):
+        for cls in (ServiceError, BadRequest, Unauthorized, Forbidden,
+                    NotFound, MethodNotAllowed, Unavailable):
+            assert issubclass(cls, ReproError)
+
+    def test_statuses(self):
+        assert BadRequest.status == 400
+        assert Unauthorized.status == 401
+        assert Forbidden.status == 403
+        assert NotFound.status == 404
+        assert MethodNotAllowed.status == 405
+        assert Unavailable.status == 503
+
+    def test_envelope_shape(self):
+        envelope = BadRequest("bad window").envelope()
+        assert envelope == {
+            "error": {
+                "status": 400,
+                "title": "Bad Request",
+                "detail": "bad window",
+                "origin": "repro.service",
+            }
+        }
+
+    def test_forbidden_originates_in_the_posix_layer(self):
+        assert Forbidden("nope").envelope()["error"]["origin"] == \
+            "repro.host.permissions"
+
+    def test_origin_override(self):
+        envelope = Unavailable("dark", origin="repro.chaos").envelope()
+        assert envelope["error"]["origin"] == "repro.chaos"
+
+    def test_detail_defaults_to_title(self):
+        assert NotFound().envelope()["error"]["detail"] == "Not Found"

@@ -1,0 +1,29 @@
+"""The load generator at reduced scale (the smoke-bench profile)."""
+
+import json
+
+from repro.service import bench_service, write_bench
+
+
+class TestBenchService:
+    def test_reduced_profile(self):
+        result = bench_service(racks=2, shards=2, requests=20,
+                               sweeps=1, seed=7)
+        assert result["requests"] == 20
+        assert result["sustained_qps"] > 0
+        assert result["speedup_vs_scalar"] > 0
+        assert result["rows_returned"] > 0
+        assert result["streamed_rows"] > 0
+        assert result["store_records"] > 0
+        assert result["racks"] == 2 and result["shards"] == 2
+        assert result["wall_s"] >= result["query_wall_s"] > 0
+
+    def test_write_bench(self, tmp_path):
+        path = tmp_path / "BENCH_service.json"
+        result = write_bench(str(path), racks=2, shards=2, requests=10,
+                             sweeps=1, seed=7)
+        committed = json.loads(path.read_text())
+        assert set(committed) == {"service"}
+        assert committed["service"]["requests"] == 10
+        assert committed["service"]["sustained_qps"] == round(
+            result["sustained_qps"], 6)

@@ -1,58 +1,140 @@
-"""Tier-1 smoke tests of the versioned ``repro.api`` surface.
+"""Tier-1 contract tests of the versioned ``repro.api`` v2 surface.
 
-Every supported name must import, resolve, and be documented in
-``docs/api.md`` — the compatibility policy is only worth something if
-the reference stays complete.  The ruff gate rides along, skipped
-where the linter isn't installed.
+The contract cuts both ways: every supported name resolves from its
+namespace, and every legacy v1 flat name still resolves — with exactly
+one :class:`DeprecationWarning` — through the ``repro._compat`` shim.
 """
 
 import importlib
 import pathlib
 import shutil
 import subprocess
+import types
+import warnings
 
 import pytest
 
 import repro.api as api
+from repro._compat import reset_deprecation_warnings
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "api.md"
 
-
-@pytest.mark.tier1
-def test_all_names_resolve():
-    assert api.__all__, "repro.api must export a surface"
-    for name in api.__all__:
-        assert hasattr(api, name), f"repro.api.__all__ lists {name}"
-        assert getattr(api, name) is not None
+NAMESPACE_NAMES = ("session", "mech", "data", "chaos", "exec",
+                   "errors", "service")
 
 
 @pytest.mark.tier1
-def test_no_duplicate_exports():
-    assert len(api.__all__) == len(set(api.__all__))
+def test_api_version_is_2():
+    assert api.API_VERSION == "2"
+    assert api.__version__.count(".") == 2
 
 
 @pytest.mark.tier1
-def test_surface_is_importable_fresh():
-    module = importlib.import_module("repro.api")
-    assert module.API_VERSION == "1"
-    assert module.__version__.count(".") == 2
+def test_namespaces_exist_and_export():
+    assert set(api.NAMESPACES) == set(NAMESPACE_NAMES)
+    for ns_name in NAMESPACE_NAMES:
+        module = importlib.import_module(f"repro.api.{ns_name}")
+        assert module is api.NAMESPACES[ns_name]
+        assert module.__all__, f"repro.api.{ns_name} must export a surface"
+
+
+@pytest.mark.tier1
+def test_every_namespace_name_resolves():
+    for ns_name, module in api.NAMESPACES.items():
+        for name in module.__all__:
+            value = getattr(module, name)
+            assert value is not None, f"repro.api.{ns_name}.{name}"
+
+
+@pytest.mark.tier1
+def test_no_implementation_module_leaks_into_all():
+    """``__all__`` lists supported *names*, never modules — a module in
+    the surface would smuggle its whole namespace past the policy."""
+    for ns_name, module in api.NAMESPACES.items():
+        leaked = [name for name in module.__all__
+                  if isinstance(getattr(module, name), types.ModuleType)]
+        assert not leaked, f"repro.api.{ns_name}.__all__ leaks {leaked}"
+
+
+@pytest.mark.tier1
+def test_no_name_exported_by_two_namespaces():
+    seen = {}
+    for ns_name, module in api.NAMESPACES.items():
+        for name in module.__all__:
+            assert name not in seen, (
+                f"{name} exported by both {seen[name]} and {ns_name}")
+            seen[name] = ns_name
+
+
+@pytest.mark.tier1
+def test_every_flat_alias_warns_exactly_once():
+    for name, ns_name in sorted(api._FLAT_ALIASES.items()):
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = getattr(api, name)
+            second = getattr(api, name)
+        assert first is second is getattr(api.NAMESPACES[ns_name], name)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1, (
+            f"repro.api.{name}: {len(deprecations)} warnings, wanted 1")
+        message = str(deprecations[0].message)
+        assert f"repro.api.{ns_name}.{name}" in message
+
+
+@pytest.mark.tier1
+def test_every_v1_name_still_resolves_flat():
+    """The v1 surface, name for name — nothing was dropped in v2."""
+    v1_names = [
+        "initialize", "finalize", "profile_run", "backends_for_node",
+        "Backend", "MoneqConfig", "MoneqSession", "MoneqResult",
+        "Mechanism", "MechanismSpec", "AccessChannel", "FreshnessModel",
+        "CapabilityDecl", "SensorSource", "mechanisms",
+        "EnvironmentalDatabase", "EnvRecord", "ShardedStore", "ShardMap",
+        "WriteBatcher", "Reading", "Aggregate", "QueryPlan", "FlushReport",
+        "series_from_readings", "store_series",
+        "FaultPlan", "FaultRule", "RetryPolicy", "CircuitBreaker",
+        "DARK_READING", "SCENARIOS", "run_scenario",
+        "Engine", "EngineStats", "ExperimentSpec", "ExperimentReport",
+        "ResultCache", "CacheStats",
+        "ReproError", "ConfigError", "DeviceError", "SensorError",
+        "MoneqError", "MoneqStateError", "MoneqBufferFullError",
+        "ExperimentExecutionError", "ChaosError",
+    ]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for name in v1_names:
+            assert getattr(api, name) is not None, f"v1 lost {name}"
+
+
+@pytest.mark.tier1
+def test_unknown_flat_name_raises():
+    with pytest.raises(AttributeError, match="does_not_exist"):
+        api.does_not_exist
 
 
 @pytest.mark.tier1
 def test_every_export_documented_in_api_md():
     assert API_DOC.is_file(), "docs/api.md missing"
     text = API_DOC.read_text(encoding="utf-8")
-    undocumented = [name for name in api.__all__ if name not in text]
+    undocumented = [
+        f"{ns_name}.{name}"
+        for ns_name, module in api.NAMESPACES.items()
+        for name in module.__all__
+        if name not in text
+    ]
     assert not undocumented, (
-        f"docs/api.md does not mention: {undocumented}"
-    )
+        f"docs/api.md does not mention: {undocumented}")
 
 
 @pytest.mark.tier1
 def test_policy_documented():
     assert "Compatibility policy" in api.__doc__
-    assert "Compatibility policy" in API_DOC.read_text(encoding="utf-8")
+    text = API_DOC.read_text(encoding="utf-8")
+    assert "Compatibility policy" in text
+    assert "DeprecationWarning" in text, "migration table must note the shim"
 
 
 @pytest.mark.skipif(shutil.which("ruff") is None,
@@ -68,13 +150,14 @@ def test_repo_is_ruff_clean():
 @pytest.mark.tier1
 def test_backend_block_contract_on_surface():
     """The vectorized sampling contract is supported API: ``Backend``
-    is exported, declares ``read_block``, and the scalar-loop fallback
-    serves any subclass that only implements ``read_at``."""
-    assert "Backend" in api.__all__
-    assert callable(api.Backend.read_block)
-    assert "bit-identical" in api.Backend.read_block.__doc__
+    declares ``read_block``, and the scalar-loop fallback serves any
+    subclass that only implements ``read_at``."""
+    from repro.api.session import Backend
 
-    class TwoFieldBackend(api.Backend):
+    assert callable(Backend.read_block)
+    assert "bit-identical" in Backend.read_block.__doc__
+
+    class TwoFieldBackend(Backend):
         platform = "test"
         label = "t0"
         min_interval_s = 0.1
@@ -97,5 +180,6 @@ def test_backend_block_contract_on_surface():
 
 @pytest.mark.tier1
 def test_session_config_exposes_block_ticks():
-    config = api.MoneqConfig(block_ticks=256)
-    assert config.block_ticks == 256
+    from repro.api.session import MoneqConfig
+
+    assert MoneqConfig(block_ticks=256).block_ticks == 256
