@@ -25,8 +25,21 @@
                                         # (--check: compare against the
                                         # committed file, exit 1 on
                                         # regression, write nothing;
-                                        # --smoke: reduced CI profile,
-                                        # absolute floors, never writes)
+                                        # --smoke alone: measure the
+                                        # reduced profile 3x and write
+                                        # BENCH_smoke.json medians+spread;
+                                        # --check --smoke: one reduced
+                                        # run vs absolute floors AND
+                                        # relative floors from the
+                                        # committed BENCH_smoke.json,
+                                        # writes nothing)
+    python -m repro fleet sweep [--smoke] [--json PATH]
+                                        # federated multi-cluster sweep
+                                        # + channel-cache ablation ->
+                                        # BENCH_fleet.json (default:
+                                        # the 10x-Mira fleet; --smoke:
+                                        # 2 sites x 4 racks, no write
+                                        # unless --json is given)
     python -m repro serve [--host H] [--port P] [--racks N]
                           [--shards N] [--sweeps N]
                                         # stand up a populated simulated
@@ -158,12 +171,14 @@ def _store_command(args: list[str]) -> int:
 
 
 def _bench_command(args: list[str]) -> int:
-    """``repro bench perf [json_path] [--check]`` — run the hot-path
-    wall-clock benches (block-sampling engine, heap scheduler, full
-    session).  Without ``--check``, write the trajectory file future PRs
-    regress against; with it, compare fresh speedups to the committed
-    file within :data:`repro.perfbench.CHECK_TOLERANCE` and exit 1 on
-    regression without rewriting anything."""
+    """``repro bench perf [json_path] [--check] [--smoke]`` — run the
+    hot-path wall-clock benches (block-sampling engine, heap scheduler,
+    full session).  Without flags, write the full-profile trajectory
+    file future PRs regress against; ``--smoke`` alone measures the
+    reduced profile three times and writes the smoke trajectory
+    (medians plus runner-variance spread); ``--check`` compares fresh
+    speedups to the committed file(s) and exits 1 on regression
+    without rewriting anything."""
     from repro import perfbench
     from repro.analysis.tables import format_table
 
@@ -174,15 +189,19 @@ def _bench_command(args: list[str]) -> int:
     checking = "--check" in args
     smoke = "--smoke" in args
     positional = [a for a in args[1:] if a not in ("--check", "--smoke")]
-    json_path = positional[0] if positional else "BENCH_moneq.json"
 
     if checking:
+        json_path = positional[0] if positional else "BENCH_moneq.json"
         failures, results = perfbench.check(json_path, smoke=smoke)
     elif smoke:
-        # Smoke sizes never overwrite the full-profile trajectory file.
-        failures, results = [], perfbench.run(None,
-                                              benches=perfbench.SMOKE_BENCHES)
+        # Smoke sizes never touch the full-profile trajectory file —
+        # they get their own, medians over repetitions plus spread.
+        json_path = (positional[0] if positional
+                     else perfbench.SMOKE_TRAJECTORY_PATH)
+        _, results = perfbench.run_smoke_trajectory(json_path)
+        failures = []
     else:
+        json_path = positional[0] if positional else "BENCH_moneq.json"
         failures, results = [], perfbench.run(json_path)
     rows = []
     for name, r in results.items():
@@ -194,11 +213,12 @@ def _bench_command(args: list[str]) -> int:
         rows.append((name, f"{r['wall_s'] * 1e3:.1f} ms",
                      f"{r['speedup_vs_scalar']:.1f}x", detail))
     if checking and smoke:
-        title = "[repro bench perf] smoke profile vs absolute floors"
+        title = ("[repro bench perf] smoke profile vs absolute + "
+                 "relative floors")
     elif checking:
         title = f"[repro bench perf] checked against {json_path}"
     elif smoke:
-        title = "[repro bench perf] smoke profile (nothing written)"
+        title = f"[repro bench perf] smoke x3 -> wrote {json_path}"
     else:
         title = f"[repro bench perf] wrote {json_path}"
     print(format_table(("bench", "wall", "vs scalar", "detail"), rows,
@@ -212,6 +232,66 @@ def _bench_command(args: list[str]) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def _fleet_command(args: list[str]) -> int:
+    """``repro fleet sweep [--smoke] [--json PATH]`` — run the
+    federated multi-cluster sweep (reshard saturated sites, advance
+    every site one polling horizon, fold the fleet-wide rollup) plus
+    the channel-cache crossings ablation, gating on the realtime-factor
+    floor, the >=5x crossings reduction, and byte-identity."""
+    from repro.analysis.tables import format_table
+    from repro.fleet import fleet_bench
+    from repro.fleet.sweep import CACHE_REDUCTION_FLOOR, REALTIME_FLOOR
+
+    usage = "usage: python -m repro fleet sweep [--smoke] [--json PATH]"
+    if not args or args[0] != "sweep":
+        print(usage, file=sys.stderr)
+        return 2
+    smoke = "--smoke" in args
+    rest = [a for a in args[1:] if a != "--smoke"]
+    json_path: str | None = None
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--json":
+            if i + 1 >= len(rest):
+                print("fleet sweep: --json needs a value", file=sys.stderr)
+                return 2
+            json_path = rest[i + 1]
+            i += 2
+        else:
+            print(f"fleet sweep: unexpected argument {rest[i]!r}\n{usage}",
+                  file=sys.stderr)
+            return 2
+    if json_path is None and not smoke:
+        json_path = "BENCH_fleet.json"  # smoke never writes by default
+
+    results = fleet_bench(json_path=json_path, smoke=smoke)
+    rows = [(f"sweep.{key}", f"{value:g}")
+            for key, value in results["fleet_sweep"].items()]
+    rows += [(f"cache.{key}",
+              str(value) if isinstance(value, bool) else f"{value:g}")
+             for key, value in results["cache_ablation"].items()]
+    wrote = f"wrote {json_path}" if json_path else "nothing written"
+    print(format_table(
+        ("metric", "value"), rows,
+        title=f"[repro fleet sweep] "
+              f"{'smoke' if smoke else 'full'} profile, {wrote}"))
+
+    failures = []
+    realtime = results["fleet_sweep"]["speedup_vs_scalar"]
+    if realtime < REALTIME_FLOOR:
+        failures.append(f"sweep realtime factor {realtime:.1f}x below "
+                        f"the {REALTIME_FLOOR:g}x floor")
+    reduction = results["cache_ablation"]["crossings_reduction"]
+    if reduction < CACHE_REDUCTION_FLOOR:
+        failures.append(f"cache crossings reduction {reduction:.1f}x below "
+                        f"the {CACHE_REDUCTION_FLOOR:g}x floor")
+    if not results["cache_ablation"]["byte_identical"]:
+        failures.append("channel cache changed MonEQ output bytes")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _int_flags(args: list[str], flags: dict[str, object]
@@ -573,6 +653,8 @@ def main(argv: list[str] | None = None) -> int:
         return _store_command(args[1:])
     if command == "bench":
         return _bench_command(args[1:])
+    if command == "fleet":
+        return _fleet_command(args[1:])
     if command == "serve":
         return _serve_command(args[1:])
     if command == "service":

@@ -13,6 +13,7 @@ Namespace              Concern
 ``repro.api.exec``     experiment engine and result cache
 ``repro.api.errors``   the supported exception hierarchy
 ``repro.api.service``  the live monitoring query service
+``repro.api.fleet``    federated multi-cluster fleets and sweeps
 =====================  ====================================================
 
 Compatibility policy
@@ -40,12 +41,12 @@ from __future__ import annotations
 
 from repro._compat import deprecated_alias
 from repro._version import __version__
-from repro.api import chaos, data, errors, exec, mech, service, session
+from repro.api import chaos, data, errors, exec, fleet, mech, service, session
 
 #: Version of the supported surface (not the package release).
 API_VERSION = "2"
 
-#: The seven namespaced sub-surfaces of API v2.
+#: The eight namespaced sub-surfaces of API v2.
 NAMESPACES = {
     "session": session,
     "mech": mech,
@@ -54,6 +55,7 @@ NAMESPACES = {
     "exec": exec,
     "errors": errors,
     "service": service,
+    "fleet": fleet,
 }
 
 #: flat name -> namespace name; built from the namespaces' ``__all__``
@@ -94,6 +96,7 @@ __all__ = [
     "data",
     "errors",
     "exec",
+    "fleet",
     "mech",
     "service",
     "session",

@@ -5,7 +5,12 @@ capability, source) plus the registry, and — new in v2 — the POSIX
 identities a channel crossing is checked against:
 :class:`~repro.host.permissions.Credentials` with the stock ``ROOT``
 and ``USER`` pair, so callers can exercise the permission gate without
-reaching into implementation modules.
+reaching into implementation modules.  The freshness-aware channel
+cache (refresh-window hits skip the access-channel crossing,
+byte-identically) is supported here too: the process-wide
+:func:`channel_cache`, the :func:`channel_cache_disabled` ablation
+guard, and the :class:`CachePlan` / :class:`FieldPlan` declarations a
+source publishes.
 """
 
 from __future__ import annotations
@@ -17,10 +22,16 @@ import repro.core.moneq  # noqa: F401
 from repro.host.permissions import ROOT, USER, Credentials
 from repro.mech import (
     AccessChannel,
+    CachePlan,
     CapabilityDecl,
+    ChannelCache,
+    ChannelCacheStats,
+    FieldPlan,
     FreshnessModel,
     MechanismSpec,
     SensorSource,
+    channel_cache,
+    channel_cache_disabled,
     mechanisms,
 )
 from repro.mech.mechanism import Mechanism
@@ -29,11 +40,17 @@ __all__ = [
     "ROOT",
     "USER",
     "AccessChannel",
+    "CachePlan",
     "CapabilityDecl",
+    "ChannelCache",
+    "ChannelCacheStats",
     "Credentials",
+    "FieldPlan",
     "FreshnessModel",
     "Mechanism",
     "MechanismSpec",
     "SensorSource",
+    "channel_cache",
+    "channel_cache_disabled",
     "mechanisms",
 ]

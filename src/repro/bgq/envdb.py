@@ -115,8 +115,10 @@ class EnvironmentalDatabase:
         coolant/temperature/fan rows each rack contributes."""
         return len(self._bpms) * 4  # bpm, coolant, temperature, fan rows
 
-    def _sweep_locations(self) -> list[str]:
-        """One location per record a sweep writes, in sweep order."""
+    def sweep_locations(self) -> list[str]:
+        """One location per record a sweep writes, in sweep order — the
+        capacity model's input, and what fleet rebalancing sizes shard
+        maps against."""
         out: list[str] = []
         for bpm in self._bpms:
             out.extend((bpm.location, bpm.node_board.location,
@@ -137,12 +139,12 @@ class EnvironmentalDatabase:
         offered records / (interval x server capacity).
         """
         interval = self.poll_interval_s if poll_interval_s is None else poll_interval_s
-        return self.store.capacity_fraction(self._sweep_locations(), interval)
+        return self.store.capacity_fraction(self.sweep_locations(), interval)
 
     def shortest_sustainable_interval(self) -> float:
         """The fastest poll the hottest shard could sustain for this
         sensor population (clamped into the configurable range)."""
-        load = self.store.sweep_load(self._sweep_locations(), 1.0)
+        load = self.store.sweep_load(self.sweep_locations(), 1.0)
         raw = max(load.values(), default=0.0)
         return min(max(raw, MIN_POLL_INTERVAL_S), MAX_POLL_INTERVAL_S)
 

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bgq.domains import BGQ_DOMAINS
-from repro.bgq.emon import EmonInterface
+from repro.bgq.emon import GENERATION_PERIOD_S, EmonInterface
+from repro.mech.cache import CachePlan, FieldPlan
 from repro.mech.source import SensorSource
 
 #: Output field names in column order: one watt column per EMON domain
@@ -39,3 +40,17 @@ class EmonSource(SensorSource):
             total = total + column
         columns["node_card_w"] = total
         return columns
+
+    def cache_plan(self) -> CachePlan:
+        # Each domain serves the oldest of two generations: its watts
+        # are a pure function of the generation window the poll lands
+        # in, offset by the domain's sampling phase.  The node-card
+        # total sums domains with differing phases, so no single window
+        # describes it — exact-timestamp keys only.
+        fields = {
+            f"{spec.domain.value}_w": FieldPlan(
+                GENERATION_PERIOD_S, spec.sample_phase)
+            for spec in BGQ_DOMAINS
+        }
+        fields["node_card_w"] = FieldPlan()
+        return CachePlan(self.emon, fields)

@@ -97,7 +97,8 @@ class FaultEvent:
     kind: str
     #: Retry attempts spent on the crossing (0 for a breaker fast-fail).
     attempts: int
-    #: ``recovered`` | ``dark`` | ``dark_budget`` | ``breaker_open``.
+    #: ``recovered`` | ``dark`` | ``dark_budget`` | ``breaker_open`` |
+    #: ``stale``.
     outcome: str
 
     def line(self) -> str:
@@ -113,6 +114,8 @@ class PlanStats:
     faults: int = 0
     recovered: int = 0
     dark: int = 0
+    #: Crossings a wedged daemon answered with pre-wedge bytes.
+    stale: int = 0
     retries: int = 0
     backoff_s: float = 0.0
     breaker_opens: int = 0

@@ -11,7 +11,13 @@ applies the verdict:
 * **dark** — retries or the timeout budget ran out, or the circuit
   breaker failed fast; every field of that row becomes
   :data:`DARK_READING` (NaN) and
-  ``repro_collector_errors_total{mechanism,kind}`` counts the failure.
+  ``repro_collector_errors_total{mechanism,kind}`` counts the failure;
+* **stale** — the daemon is wedged (paper §II): the exchange answers
+  promptly, but with the last bytes the daemon produced before it
+  wedged.  The mechanism serves the previous *delivered* values — no
+  retries fire (nothing looks broken at the wire), the breaker counts
+  a success (bytes arrived), and
+  ``repro_chaos_stale_reads_total{mechanism}`` counts the lie.
 
 Injection happens strictly **after** the sensor source has collected
 the grid, so a retried crossing re-issues the *exchange*, never the
@@ -34,6 +40,7 @@ from repro.chaos.retry import CLOSED, CircuitBreaker
 from repro.obs.instruments import (
     CHAOS_DARK_READS,
     CHAOS_FAULTS,
+    CHAOS_STALE_READS,
     COLLECTOR_ERRORS,
     RETRY_ATTEMPTS,
     RETRY_BACKOFF_SECONDS,
@@ -49,6 +56,13 @@ DARK_READING = float("nan")
 #: The error ``kind`` recorded when an open breaker fails fast (the
 #: originating fault kind already counted when the breaker opened).
 BREAKER_OPEN_KIND = "sensor_dark"
+
+#: The fault kind whose crossings deliver *stale* bytes instead of
+#: going dark: a wedged daemon answers promptly with its last output.
+WEDGED_KIND = "daemon_wedged"
+
+#: Per-crossing verdicts (internal to the injector/mechanism seam).
+_DELIVERED, _DARK, _STALE = 0, 1, 2
 
 
 class ChannelInjector:
@@ -72,6 +86,10 @@ class ChannelInjector:
         self._retry_counter = 0
         self._errors = COLLECTOR_ERRORS
         self._rule_seeds = [plan.rule_seed(rule, label) for rule in self.rules]
+        #: Last post-quantization value delivered per field, carried
+        #: across blocks so a wedged daemon can serve stale rows even
+        #: when the wedge spans a chunk boundary.
+        self.last_delivered: dict[str, float] = {}
 
     def bind(self, queries_per_tick: int) -> "ChannelInjector":
         self.queries_per_tick = queries_per_tick
@@ -83,17 +101,30 @@ class ChannelInjector:
         """Decide every crossing of one collected grid.
 
         Returns a boolean mask over ``times``: True rows went dark.
-        Exchange indices advance by ``queries_per_tick`` per tick
-        whether or not a draw was needed, so decisions depend only on
-        *which* crossing this is — never on breaker state or chunking.
+        Consumers that only care about delivery (the streaming probes)
+        use this; the mechanism read path wants the full verdicts.
+        """
+        return self.cross_block_verdicts(times)[0]
+
+    def cross_block_verdicts(
+            self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Decide every crossing of one collected grid.
+
+        Returns ``(dark, stale)`` boolean masks over ``times``: dark
+        rows never delivered, stale rows delivered wedged (pre-wedge)
+        bytes.  Exchange indices advance by ``queries_per_tick`` per
+        tick whether or not a draw was needed, so decisions depend only
+        on *which* crossing this is — never on breaker state or
+        chunking.
         """
         n = times.shape[0]
         q = self.queries_per_tick
         start = self._exchange_counter
         self._exchange_counter += n * q
         dark = np.zeros(n, dtype=bool)
+        stale = np.zeros(n, dtype=bool)
         if not self.rules:
-            return dark
+            return dark, stale
 
         # Which tick faults, and with which rule?  Per-exchange
         # Bernoulli draws, reduced to "any exchange of the tick
@@ -115,13 +146,15 @@ class ChannelInjector:
             # A clean block over a closed breaker is n successes: reset
             # the failure streak once (idempotent) and skip the loop.
             self.breaker.record_success()
-            return dark
+            return dark, stale
         for i in range(n):
-            dark[i] = self._cross_one(float(times[i]), int(fault_rule[i]))
-        return dark
+            verdict = self._cross_one(float(times[i]), int(fault_rule[i]))
+            dark[i] = verdict == _DARK
+            stale[i] = verdict == _STALE
+        return dark, stale
 
-    def _cross_one(self, t: float, rule_index: int) -> bool:
-        """Resolve one tick's crossing; returns True if it went dark."""
+    def _cross_one(self, t: float, rule_index: int) -> int:
+        """Resolve one tick's crossing; returns its verdict."""
         stats = self.plan.stats
         if not self.breaker.allow():
             # Open breaker: fail fast, no retries, no new fault draw.
@@ -132,14 +165,29 @@ class ChannelInjector:
                 t, self.mechanism, self.label, BREAKER_OPEN_KIND,
                 attempts=0, outcome="breaker_open",
             ))
-            return True
+            return _DARK
         if rule_index < 0:
             self.breaker.record_success()
-            return False
+            return _DELIVERED
 
         rule = self.rules[rule_index]
         stats.count_fault(self.mechanism, rule.kind)
         CHAOS_FAULTS.labels(self.mechanism, rule.kind).inc()
+
+        if rule.kind == WEDGED_KIND:
+            # The wedge is invisible at the wire: the exchange delivers
+            # bytes on time, they're just the daemon's pre-wedge output.
+            # No retries (nothing to retry against), the breaker counts
+            # a success, and the consumer gets stale-beyond-the-window.
+            stats.stale += 1
+            CHAOS_STALE_READS.labels(self.mechanism).inc()
+            self._errors.labels(self.mechanism, rule.kind).inc()
+            self.breaker.record_success()
+            self.plan.record(FaultEvent(
+                t, self.mechanism, self.label, rule.kind,
+                attempts=0, outcome="stale",
+            ))
+            return _STALE
 
         attempts = 0
         backoff_total = 0.0
@@ -170,7 +218,7 @@ class ChannelInjector:
                 t, self.mechanism, self.label, rule.kind,
                 attempts=attempts, outcome=outcome,
             ))
-            return False
+            return _DELIVERED
 
         stats.dark += 1
         opens_before = self.breaker.opens
@@ -183,7 +231,7 @@ class ChannelInjector:
             t, self.mechanism, self.label, rule.kind,
             attempts=attempts, outcome=outcome,
         ))
-        return True
+        return _DARK
 
 
 def injector_for(channel, mechanism: str, label: str,

@@ -9,7 +9,8 @@ catalog ships the reliability stories the ROADMAP names:
   opens and the ipmb agent reads sensor-dark while the in-band paths
   keep collecting.
 * ``daemon_wedge`` — the MICRAS daemon wedges mid-run: pseudo-file
-  reads hang (rate 1.0) from the wedge point on.
+  reads answer promptly but serve the daemon's pre-wedge output (rate
+  1.0) from the wedge point on — stale beyond the freshness window.
 * ``bus_noise`` — transient IPMB bus noise at a configurable rate for
   the whole run: most faults recover on the first retry, a few go dark.
 
@@ -75,7 +76,7 @@ SCENARIOS: dict[str, ChaosScenario] = {
     ),
     "daemon_wedge": ChaosScenario(
         "daemon_wedge",
-        "MICRAS daemon wedges mid-run; pseudo-file reads go dark",
+        "MICRAS daemon wedges mid-run; pseudo-file reads serve stale",
         _daemon_wedge_rules,
     ),
     "bus_noise": ChaosScenario(
@@ -117,7 +118,7 @@ class ScenarioResult:
                 f"ticks={self.ticks} faults={s.faults} "
                 f"recovered={s.recovered} dark={s.dark} "
                 f"retries={s.retries} backoff_s={s.backoff_s:.6f} "
-                f"breaker_opens={s.breaker_opens}")
+                f"breaker_opens={s.breaker_opens} stale={s.stale}")
 
 
 def run_scenario(name: str, seed: int = DEFAULT_SEED,

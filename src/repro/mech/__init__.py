@@ -24,6 +24,14 @@ eager import would cycle.
 
 from __future__ import annotations
 
+from repro.mech.cache import (
+    CachePlan,
+    ChannelCache,
+    ChannelCacheStats,
+    FieldPlan,
+    channel_cache,
+    channel_cache_disabled,
+)
 from repro.mech.capability_decl import PLATFORM_DECLS, CapabilityDecl
 from repro.mech.channel import MILLI_UNITS, AccessChannel, Quantization
 from repro.mech.freshness import FreshnessKind, FreshnessModel
@@ -52,6 +60,12 @@ __all__ = [
     "get",
     "mechanisms",
     "Mechanism",
+    "ChannelCache",
+    "ChannelCacheStats",
+    "CachePlan",
+    "FieldPlan",
+    "channel_cache",
+    "channel_cache_disabled",
 ]
 
 

@@ -18,6 +18,7 @@ from repro.core.capability import PlatformCapabilities, platform_capabilities
 from repro.core.moneq.backend import Backend
 from repro.errors import AccessDeniedError, ConfigError
 from repro.host.permissions import Credentials
+from repro.mech.cache import channel_cache
 from repro.mech.channel import AccessChannel
 from repro.mech.registry import MechanismSpec
 from repro.mech.source import SensorSource, empty_block
@@ -51,6 +52,14 @@ class Mechanism(Backend):
         self._instrument = self.channel.instrument(spec.name)
         self._gate_vfs = None
         self._gate_path = ""
+        self._cache_plan = source.cache_plan()
+        if self._cache_plan is not None and (
+                set(self._cache_plan.fields) != set(spec.fields)):
+            raise ConfigError(
+                f"mechanism {spec.name!r}: cache plan covers fields "
+                f"{sorted(self._cache_plan.fields)} but the declaration "
+                f"promises {spec.fields}"
+            )
 
     @property
     def min_interval_s(self) -> float:
@@ -104,7 +113,13 @@ class Mechanism(Backend):
         out = empty_block(self.spec.fields, times.shape[0])
         if times.shape[0] == 0:
             return out
-        columns = self.source.collect(times)
+        cache = channel_cache()
+        plan = self._cache_plan
+        cached = cache.enabled and plan is not None
+        if cached:
+            columns = self._collect_cached(cache, plan, times)
+        else:
+            columns = self.source.collect(times)
         quantization = self.channel.quantization
         for name in self.spec.fields:
             column = columns[name]
@@ -115,16 +130,77 @@ class Mechanism(Backend):
         # of the grid is decided *after* the source collected — a retry
         # re-issues the exchange, never the stateful counter read — and
         # undelivered rows degrade to sensor-dark NaN instead of
-        # raising.  With no plan this is one function call returning
+        # raising.  Injection always draws over the *full* grid, so a
+        # cache hit can never mask a fault a real crossing would have
+        # drawn.  With no plan this is one function call returning
         # None, and the block above is the entire read path.
         injector = self.channel.fault_injector(
             self.mechanism, self.label, self.spec.queries_per_read)
         if injector is not None:
-            dark = injector.cross_block(times)
+            dark, stale = injector.cross_block_verdicts(times)
+            delivered = ~(dark | stale)
+            if stale.any():
+                self._serve_stale(out, delivered, stale, injector)
+            if delivered.any():
+                last = int(np.flatnonzero(delivered)[-1])
+                for name in self.spec.fields:
+                    injector.last_delivered[name] = float(out[name][last])
             if dark.any():
                 for name in self.spec.fields:
                     out[name][dark] = DARK_READING
+                if cached:
+                    # A dark channel forfeits its freshness windows: the
+                    # next delivered crossing re-collects from scratch.
+                    cache.invalidate_device(self.mechanism, plan.token)
         return out
+
+    def _collect_cached(self, cache, plan, times: np.ndarray) -> dict:
+        """Collect through the channel cache: fields whose freshness key
+        hits are served from cache; rows with any miss fall through to
+        one subset collection.  Sources that declare a plan are
+        elementwise-pure in the poll time, so collecting the miss subset
+        yields exactly the rows a full collection would have."""
+        n = times.shape[0]
+        keys = {name: plan.keys_for(name, times) for name in self.spec.fields}
+        columns: dict[str, np.ndarray] = {}
+        hit_all = np.ones(n, dtype=bool)
+        for name in self.spec.fields:
+            values, hit = cache.lookup(
+                self.mechanism, plan.token, name, keys[name])
+            columns[name] = values
+            hit_all &= hit
+        need = ~hit_all
+        if need.any():
+            collected = self.source.collect(times[need])
+            for name in self.spec.fields:
+                fresh = np.asarray(collected[name], dtype=np.float64)
+                columns[name][need] = fresh
+                cache.store(
+                    self.mechanism, plan.token, name, keys[name][need], fresh)
+        cache.note_block(self.mechanism, n, int(np.count_nonzero(hit_all)),
+                         self.spec.queries_per_read)
+        return columns
+
+    def _serve_stale(self, out: np.ndarray, delivered: np.ndarray,
+                     stale: np.ndarray, injector) -> None:
+        """Fill wedged-daemon rows with the last *delivered* values: the
+        daemon answers promptly but with the bytes it produced before it
+        wedged (paper §II) — stale beyond the freshness window, never
+        fresh.  Rows wedged before anything was ever delivered degrade
+        to sensor-dark."""
+        n = delivered.shape[0]
+        src = np.where(delivered, np.arange(n), -1)
+        np.maximum.accumulate(src, out=src)
+        rows = np.flatnonzero(stale)
+        src_rows = src[rows]
+        carried = injector.last_delivered
+        for name in self.spec.fields:
+            column = out[name]
+            column[rows] = np.where(
+                src_rows >= 0,
+                column[np.maximum(src_rows, 0)],
+                carried.get(name, DARK_READING),
+            )
 
     def read_at(self, t: float,
                 creds: Credentials | None = None) -> dict[str, float]:

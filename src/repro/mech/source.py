@@ -77,6 +77,18 @@ class SensorSource(abc.ABC):
         sources.
         """
 
+    def cache_plan(self):
+        """This source's :class:`~repro.mech.cache.CachePlan`, or None.
+
+        A plan declares that every field is a pure function of the poll
+        time (held registers keyed by hardware window, continuous values
+        keyed exactly), which is what lets the channel cache serve
+        refresh-window hits byte-identically.  The default is None —
+        uncacheable — which is the only safe answer for stateful sources
+        like the counter differencers below.
+        """
+        return None
+
 
 class CounterSource(SensorSource):
     """Stateful counter-differencing source: fields are power columns

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.mech.cache import CachePlan, FieldPlan
 from repro.mech.source import SensorSource
 from repro.nvml.device import GpuDevice
 
@@ -18,6 +19,15 @@ class NvmlSource(SensorSource):
 
     def fields(self) -> tuple[str, ...]:
         return NVML_FIELDS
+
+    def cache_plan(self) -> CachePlan:
+        # board_w is sample-and-hold at the board's refresh period; die
+        # temperature is a continuous thermal model of the poll time.
+        sensor = self.gpu.power_sensor
+        return CachePlan(self.gpu, {
+            "board_w": FieldPlan(sensor.update_interval, sensor.phase),
+            "die_temp_c": FieldPlan(),
+        })
 
     def collect(self, times: np.ndarray) -> dict[str, np.ndarray]:
         return {

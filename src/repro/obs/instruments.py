@@ -133,6 +133,60 @@ STORE_CACHE_INVALIDATIONS = _REGISTRY.counter(
     "Aggregate-cache entries invalidated by ingest",
 )
 
+# -- Channel cache -----------------------------------------------------------
+
+CACHE_HITS = _REGISTRY.counter(
+    "repro_cache_hits_total",
+    "Channel-cache rows whose every field was served from a "
+    "freshness-window hit, by mechanism",
+    labels=("mechanism",),
+)
+CACHE_MISSES = _REGISTRY.counter(
+    "repro_cache_misses_total",
+    "Channel-cache rows that needed a device collection (at least one "
+    "field missed its freshness window), by mechanism",
+    labels=("mechanism",),
+)
+CACHE_CROSSINGS_SAVED = _REGISTRY.counter(
+    "repro_cache_crossings_saved_total",
+    "Access-channel exchanges skipped by channel-cache hits "
+    "(hit rows x the mechanism's queries_per_read)",
+    labels=("mechanism",),
+)
+CACHE_INVALIDATIONS = _REGISTRY.counter(
+    "repro_cache_invalidations_total",
+    "Channel-cache device entries invalidated (chaos dark periods, "
+    "capacity eviction, explicit clears)",
+    labels=("mechanism",),
+)
+
+# -- Federated fleet ---------------------------------------------------------
+
+FLEET_SWEEPS = _REGISTRY.counter(
+    "repro_fleet_sweeps_total",
+    "Environmental polling sweeps completed across the fleet, by site",
+    labels=("site",),
+)
+FLEET_RECORDS = _REGISTRY.counter(
+    "repro_fleet_records_total",
+    "Records accepted into per-site stores during fleet sweeps, by site",
+    labels=("site",),
+)
+FLEET_RESHARDS = _REGISTRY.counter(
+    "repro_fleet_reshards_total",
+    "Shard-rebalancing operations applied to a saturated site's store",
+    labels=("site",),
+)
+FLEET_QUERIES = _REGISTRY.counter(
+    "repro_fleet_queries_total",
+    "Queries served by the federated store, by kind",
+    labels=("kind",),
+)
+FLEET_PARTIALS_MERGED = _REGISTRY.counter(
+    "repro_fleet_partials_merged_total",
+    "Site-local partial aggregates merged centrally into fleet windows",
+)
+
 # -- SCIF ------------------------------------------------------------------
 
 SCIF_MESSAGES = _REGISTRY.counter(
@@ -206,6 +260,14 @@ CHAOS_DARK_READS = _REGISTRY.counter(
     "Crossings degraded to a sensor-dark (NaN) reading after retries "
     "were exhausted, the timeout budget expired, or the circuit "
     "breaker failed fast",
+    labels=("mechanism",),
+)
+CHAOS_STALE_READS = _REGISTRY.counter(
+    "repro_chaos_stale_reads_total",
+    "Crossings served stale by a wedged daemon: the exchange delivered "
+    "promptly, but with the last bytes the daemon produced before it "
+    "wedged (paper §II: a wedged pseudo-file serves data stale "
+    "beyond the freshness window)",
     labels=("mechanism",),
 )
 CHAOS_BREAKER_TRANSITIONS = _REGISTRY.counter(

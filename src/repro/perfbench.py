@@ -71,27 +71,36 @@ def bench_moneq_block(agents: int = 1024, ticks: int = 10_000,
     block mode versus the scalar tick loop (measured on a short slice
     and extrapolated — running 10M scalar reads outright is the very
     cost the engine removes).  Byte-identity is asserted on a reduced
-    configuration where running both paths in full is cheap."""
-    horizon = ticks * NVML_INTERVAL_S + NVML_INTERVAL_S / 2
-    node, session = _nvml_session(agents, ticks, 4096, seed)
-    wall_block, _ = _wall(lambda: node.events.run_until(horizon))
-    if session.agents[0].count != ticks:
-        raise AssertionError(
-            f"block run collected {session.agents[0].count} ticks, wanted {ticks}"
-        )
+    configuration where running both paths in full is cheap.
 
-    slice_horizon = scalar_ticks * NVML_INTERVAL_S + NVML_INTERVAL_S / 2
-    node, session = _nvml_session(agents, scalar_ticks, 1, seed)
-    wall_slice, _ = _wall(lambda: node.events.run_until(slice_horizon))
-    if session.agents[0].count != scalar_ticks:
-        raise AssertionError(
-            f"scalar slice collected {session.agents[0].count} ticks, "
-            f"wanted {scalar_ticks}"
-        )
-    scalar_est = wall_slice * (ticks / scalar_ticks)
+    Measured with the channel cache bypassed: the 1024 agents share
+    one device, so cache hits would dominate both sides and the ratio
+    would stop measuring the block engine (the cache's own win is
+    :func:`repro.fleet.cache_ablation`'s figure, floored separately)."""
+    from repro.mech.cache import channel_cache_disabled
 
-    byte_identical = (_nvml_outputs(8, 400, 1, seed)
-                      == _nvml_outputs(8, 400, 4096, seed))
+    with channel_cache_disabled():
+        horizon = ticks * NVML_INTERVAL_S + NVML_INTERVAL_S / 2
+        node, session = _nvml_session(agents, ticks, 4096, seed)
+        wall_block, _ = _wall(lambda: node.events.run_until(horizon))
+        if session.agents[0].count != ticks:
+            raise AssertionError(
+                f"block run collected {session.agents[0].count} ticks, "
+                f"wanted {ticks}"
+            )
+
+        slice_horizon = scalar_ticks * NVML_INTERVAL_S + NVML_INTERVAL_S / 2
+        node, session = _nvml_session(agents, scalar_ticks, 1, seed)
+        wall_slice, _ = _wall(lambda: node.events.run_until(slice_horizon))
+        if session.agents[0].count != scalar_ticks:
+            raise AssertionError(
+                f"scalar slice collected {session.agents[0].count} ticks, "
+                f"wanted {scalar_ticks}"
+            )
+        scalar_est = wall_slice * (ticks / scalar_ticks)
+
+        byte_identical = (_nvml_outputs(8, 400, 1, seed)
+                          == _nvml_outputs(8, 400, 4096, seed))
     return {
         "wall_s": wall_block,
         "speedup_vs_scalar": scalar_est / wall_block,
@@ -130,10 +139,17 @@ def bench_moneq_full_session(duration_s: float = 60.0, seed: int = 96) -> dict:
     }
 
 
-def bench_launcher_fanin(size: int = 4096, nbytes: int = 64) -> dict:
+def bench_launcher_fanin(size: int = 4096, nbytes: int = 64,
+                         reps: int = 3) -> dict:
     """The acceptance bench for the scheduler: an ANY_SOURCE fan-in of
     ``size`` ranks into rank 0 — the worst case for the seed's linear
-    scan (O(n) rescan per step, O(n) source scan per receive)."""
+    scan (O(n) rescan per step, O(n) source scan per receive).
+
+    Best-of-``reps`` per scheduler: at the CI smoke size (512 ranks)
+    the heap run is single-digit milliseconds, and one descheduling
+    blip is enough to flip the measured ratio — the minimum wall is
+    the one the scheduler actually earned."""
+    import gc
 
     def program(ctx):
         if ctx.rank == 0:
@@ -144,10 +160,13 @@ def bench_launcher_fanin(size: int = 4096, nbytes: int = 64) -> dict:
         yield Compute(1e-6 * ((ctx.rank * 13) % 7 + 1))
         yield Send(dest=0, payload=ctx.rank, tag=1, nbytes=nbytes)
 
-    wall_heap, heap = _wall(lambda: Launcher(program, size=size,
-                                             scheduler="heap").run())
-    wall_linear, linear = _wall(lambda: Launcher(program, size=size,
-                                                 scheduler="linear").run())
+    gc.collect()
+    wall_heap, heap = min(
+        (_wall(lambda: Launcher(program, size=size, scheduler="heap").run())
+         for _ in range(reps)), key=lambda pair: pair[0])
+    wall_linear, linear = min(
+        (_wall(lambda: Launcher(program, size=size, scheduler="linear").run())
+         for _ in range(reps)), key=lambda pair: pair[0])
     if [r.value for r in heap] != [r.value for r in linear]:
         raise AssertionError("heap and linear schedulers diverged")
     return {
@@ -209,23 +228,29 @@ def bench_chaos_hotpath(rows: int = 200_000, reps: int = 5,
 
     from repro import testbeds
     from repro.chaos.faults import FaultPlan, FaultRule
+    from repro.mech.cache import channel_cache_disabled
 
     node, gpu, _ = testbeds.gpu_node(seed=seed)
     gpu.board.schedule(VectorAddWorkload(), t_start=0.0)
     backend = NvmlBackend(gpu)
     times = np.arange(rows, dtype=np.float64) * NVML_INTERVAL_S
 
-    backend.read_block(times)  # warm both paths out of the timing
-    wall_block = min(_wall(lambda: backend.read_block(times))[0]
-                     for _ in range(reps))
-    wall_collect = min(_wall(lambda: backend.source.collect(times))[0]
-                       for _ in range(reps))
+    with channel_cache_disabled():
+        # The channel cache would turn the re-timed reads into pure
+        # lookups; this bench measures the chaos seam, so it runs on
+        # the uncached path (the cache has its own ablation bench).
+        backend.read_block(times)  # warm both paths out of the timing
+        wall_block = min(_wall(lambda: backend.read_block(times))[0]
+                         for _ in range(reps))
+        wall_collect = min(_wall(lambda: backend.source.collect(times))[0]
+                           for _ in range(reps))
 
-    check_times = times[:check_rows]
-    disabled = backend.read_block(check_times)
-    zero_plan = FaultPlan(seed=seed, rules=(FaultRule("nvml", rate=0.0),))
-    with zero_plan.active():
-        wall_zero, under_plan = _wall(lambda: backend.read_block(check_times))
+        check_times = times[:check_rows]
+        disabled = backend.read_block(check_times)
+        zero_plan = FaultPlan(seed=seed, rules=(FaultRule("nvml", rate=0.0),))
+        with zero_plan.active():
+            wall_zero, under_plan = _wall(
+                lambda: backend.read_block(check_times))
     if under_plan.tobytes() != disabled.tobytes():
         raise AssertionError(
             "zero-rate fault plan changed read_block bytes")
@@ -257,6 +282,41 @@ def bench_service_smoke(racks: int = 8, shards: int = 8,
                          sweeps=sweeps)
 
 
+def bench_fleet_smoke() -> dict:
+    """The fleet layer at CI-smoke scale: a 2-site sweep through the
+    federated store plus the channel-cache crossings ablation.
+
+    ``speedup_vs_scalar`` is the sweep's realtime factor (virtual
+    seconds simulated per wall second) — the fleet-scale face of the
+    block-sampling speedups above.  The ablation's invariants (the
+    cache must cut channel crossings >=5x on the shared-device consumer
+    pattern *and* stay byte-invisible in the MonEQ outputs) are
+    asserted here, not floored: they are correctness, not speed.  The
+    committed full-size figures live in ``BENCH_fleet.json``.
+    """
+    from repro.fleet import fleet_bench
+    from repro.fleet.sweep import CACHE_REDUCTION_FLOOR
+
+    results = fleet_bench(json_path=None, smoke=True)
+    sweep = results["fleet_sweep"]
+    ablation = results["cache_ablation"]
+    if not ablation["byte_identical"]:
+        raise AssertionError("channel cache changed MonEQ output bytes")
+    if ablation["crossings_reduction"] < CACHE_REDUCTION_FLOOR:
+        raise AssertionError(
+            f"channel cache cut crossings only "
+            f"{ablation['crossings_reduction']:.1f}x, wanted "
+            f">={CACHE_REDUCTION_FLOOR:g}x")
+    return {
+        "wall_s": sweep["wall_s"],
+        "speedup_vs_scalar": sweep["speedup_vs_scalar"],
+        "sites": sweep["sites"],
+        "records": sweep["records"],
+        "cache_reduction": ablation["crossings_reduction"],
+        "byte_identical": ablation["byte_identical"],
+    }
+
+
 #: Bench name -> zero-argument callable, in report order.
 ALL_BENCHES: dict[str, Callable[[], dict]] = {
     "moneq_block": bench_moneq_block,
@@ -278,6 +338,7 @@ SMOKE_BENCHES: dict[str, Callable[[], dict]] = {
     "launcher_mmps": lambda: bench_launcher_mmps(messages_per_rank=400),
     "chaos_hotpath": lambda: bench_chaos_hotpath(rows=50_000, reps=3),
     "service": bench_service_smoke,
+    "fleet": bench_fleet_smoke,
 }
 
 #: Absolute speedup floors a smoke check enforces.  Deliberately far
@@ -298,6 +359,10 @@ SMOKE_FLOORS: dict[str, float] = {
     # dispatch + JSON).  1.5x still separates a live cache from a dead
     # one (ratio ~1x).
     "service": 1.5,
+    # fleet's ratio is the sweep realtime factor (virtual s / wall s);
+    # ~1000x measured locally, 2x still means the federated sweep runs
+    # faster than the machines it models.
+    "fleet": 2.0,
 }
 
 #: Relative slack allowed when re-measuring a committed speedup.  Wide
@@ -305,6 +370,17 @@ SMOKE_FLOORS: dict[str, float] = {
 #: machines; the check is for *regressions* (an optimization undone),
 #: not run-to-run jitter.
 CHECK_TOLERANCE = 0.30
+
+#: Where the committed smoke trajectory lives (see
+#: :func:`run_smoke_trajectory`).
+SMOKE_TRAJECTORY_PATH = "BENCH_smoke.json"
+
+#: Floor on the relative slack a smoke re-measurement gets against the
+#: committed smoke median.  Wide by design — a shared CI runner under
+#: load halves speedups without anything regressing; benches whose
+#: committed spread is larger get ``2 x spread`` instead (see
+#: :func:`_smoke_relative_failures`).
+SMOKE_RELATIVE_TOLERANCE = 0.50
 
 
 def check(json_path: str = "BENCH_moneq.json",
@@ -319,9 +395,12 @@ def check(json_path: str = "BENCH_moneq.json",
     The committed file is never rewritten by a check.
 
     With ``smoke=True`` the reduced :data:`SMOKE_BENCHES` profile runs
-    instead and is held to the absolute :data:`SMOKE_FLOORS` — the
-    committed trajectory measures the full profile, so comparing smoke
-    numbers against it would be meaningless.
+    instead, held to the absolute :data:`SMOKE_FLOORS` *and* — when a
+    committed :data:`SMOKE_TRAJECTORY_PATH` exists — to relative floors
+    against its per-bench medians (``json_path`` names the full-profile
+    trajectory and is ignored in smoke mode).  The absolute floors
+    catch an optimization being undone outright; the relative check
+    catches the slow bleed the wide absolute floors would wave through.
     """
     if smoke:
         results = run(json_path=None, benches=SMOKE_BENCHES)
@@ -332,6 +411,7 @@ def check(json_path: str = "BENCH_moneq.json",
             for name, floor in SMOKE_FLOORS.items()
             if results[name]["speedup_vs_scalar"] < floor
         ]
+        failures.extend(_smoke_relative_failures(results))
         return failures, results
     with open(json_path, encoding="utf-8") as fh:
         committed = json.load(fh)
@@ -349,6 +429,87 @@ def check(json_path: str = "BENCH_moneq.json",
                 f"below {floor:.3f}x (committed "
                 f"{entry['speedup_vs_scalar']:.3f}x - {tolerance:.0%})")
     return failures, results
+
+
+def _smoke_relative_failures(
+        results: dict[str, dict],
+        trajectory_path: str = SMOKE_TRAJECTORY_PATH) -> list[str]:
+    """Relative regressions against the committed smoke trajectory.
+
+    The committed file records each smoke bench's median speedup over
+    back-to-back repetitions plus its observed relative spread
+    ``(max - min) / median`` — the runner-variance characterization
+    :func:`run_smoke_trajectory` measured.  A fresh smoke speedup must
+    stay within ``max(SMOKE_RELATIVE_TOLERANCE, 2 x spread)`` of the
+    committed median (capped at 90% so the floor stays positive):
+    benches the runner measures stably get a tight bound, noisy ones a
+    loose one.  No committed file means no relative check.
+    """
+    try:
+        with open(trajectory_path, encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except FileNotFoundError:
+        return []
+    failures: list[str] = []
+    for name, entry in committed["benches"].items():
+        fresh = results.get(name)
+        if fresh is None:
+            failures.append(
+                f"{name}: in {trajectory_path} but no longer smoke-benched")
+            continue
+        slack = min(0.90, max(SMOKE_RELATIVE_TOLERANCE,
+                              2.0 * entry.get("spread", 0.0)))
+        floor = entry["speedup_vs_scalar"] * (1.0 - slack)
+        if fresh["speedup_vs_scalar"] < floor:
+            failures.append(
+                f"{name}: smoke speedup "
+                f"{fresh['speedup_vs_scalar']:.3f}x fell below "
+                f"{floor:.3f}x (committed median "
+                f"{entry['speedup_vs_scalar']:.3f}x - {slack:.0%})")
+    return failures
+
+
+def run_smoke_trajectory(json_path: str | None = SMOKE_TRAJECTORY_PATH,
+                         reps: int = 3) -> tuple[dict, dict[str, dict]]:
+    """Measure the smoke profile ``reps`` times and write the smoke
+    trajectory file: per bench the median ``wall_s`` and
+    ``speedup_vs_scalar`` plus the relative spread ``(max - min) /
+    median`` across the repetitions.
+
+    The spread *is* the runner-variance characterization: committed
+    from the same class of machine CI runs on, it tells
+    ``check(smoke=True)`` how much slack each bench needs before a
+    low reading means regression rather than noise.  Returns
+    ``(trajectory, last_results)`` — the latter the final repetition's
+    full bench dicts, for reporting.
+    """
+    samples: dict[str, list[dict]] = {name: [] for name in SMOKE_BENCHES}
+    results: dict[str, dict] = {}
+    for _ in range(max(1, reps)):
+        results = run(json_path=None, benches=SMOKE_BENCHES)
+        for name, r in results.items():
+            samples[name].append(r)
+
+    def median(values: list[float]) -> float:
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    benches: dict[str, dict] = {}
+    for name, runs_ in samples.items():
+        speeds = [r["speedup_vs_scalar"] for r in runs_]
+        mid = median(speeds)
+        spread = (max(speeds) - min(speeds)) / mid if mid else 0.0
+        benches[name] = {
+            "wall_s": round(median([r["wall_s"] for r in runs_]), 6),
+            "speedup_vs_scalar": round(mid, 3),
+            "spread": round(spread, 3),
+        }
+    trajectory = {"reps": max(1, reps), "benches": benches}
+    if json_path is not None:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(trajectory, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return trajectory, results
 
 
 def run(json_path: str | None = "BENCH_moneq.json",

@@ -33,6 +33,7 @@ from repro.service.app import (
     ServiceApp,
     ServiceClient,
     serve,
+    service_for_fleet,
     service_for_machine,
 )
 from repro.service.auth import Tenant, TenantRegistry, default_tenants
@@ -67,6 +68,7 @@ __all__ = [
     "dark_shards",
     "default_tenants",
     "serve",
+    "service_for_fleet",
     "service_for_machine",
     "tail_stream",
     "write_bench",

@@ -61,18 +61,26 @@ class ServiceApp:
         Optional callable run between streaming-tail polls — rigs wired
         to a simulated machine advance its event queue here so streams
         observe sweeps landing.
+    fleet:
+        Optional :class:`~repro.store.FederatedStore`.  When present,
+        ``/v2/query/aggregate`` scatter-gathers across the fleet's
+        sites (prefixes follow the ``site/location`` convention and
+        ``rollup=1`` folds partials into one fleet-wide series); every
+        other endpoint keeps serving ``store``.
     """
 
     def __init__(self, store: ShardedStore,
                  tenants: TenantRegistry | None = None,
                  backends: dict | None = None,
                  clock=None,
-                 pump: Callable[[int], None] | None = None):
+                 pump: Callable[[int], None] | None = None,
+                 fleet=None):
         self.store = store
         self.tenants = tenants if tenants is not None else TenantRegistry()
         self.backends = dict(backends) if backends else {}
         self.clock = clock
         self.pump = pump
+        self.fleet = fleet
 
     def now(self) -> float:
         return float(self.clock.now) if self.clock is not None else 0.0
@@ -201,6 +209,17 @@ def service_for_machine(machine, tenants: TenantRegistry | None = None,
                       backends=backends, clock=machine.clock, pump=pump)
 
 
+def service_for_fleet(fleet, tenants: TenantRegistry | None = None,
+                      backends: dict | None = None) -> ServiceApp:
+    """A :class:`ServiceApp` fronting a :class:`~repro.fleet.Fleet`:
+    aggregates scatter-gather across every site's store while the
+    single-store endpoints serve the first site (sorted order) — the
+    fleet shares one schema, so table listings and plans agree."""
+    first = fleet.site(fleet.site_names[0])
+    return ServiceApp(first.store, tenants=tenants, backends=backends,
+                      clock=first.machine.clock, fleet=fleet.federation)
+
+
 def serve(app: ServiceApp, host: str = "127.0.0.1",
           port: int = 8340) -> None:  # pragma: no cover - needs a socket
     """Serve under wsgiref (the ``python -m repro serve`` entry)."""
@@ -218,5 +237,6 @@ __all__ = [
     "ServiceClient",
     "Tenant",
     "serve",
+    "service_for_fleet",
     "service_for_machine",
 ]

@@ -135,6 +135,8 @@ def query(svc, req: Request, kind: str):
         )
     table = req.param("table")
     prefix = req.param("prefix", "")
+    if kind == "aggregate" and svc.fleet is not None:
+        return _federated_aggregate(svc, req, table, prefix)
     plan = svc.store.plan(kind, table, prefix)
     if kind == "aggregate":
         dark = dark_shards(svc.store, svc.now())
@@ -178,6 +180,57 @@ def query(svc, req: Request, kind: str):
             "shards": list(plan.shards),
             "fan_out": plan.fan_out,
             "uses_cache": plan.uses_cache,
+        },
+        "count": len(rows),
+        "rows": rows,
+    }
+
+
+def _federated_aggregate(svc, req: Request, table: str, prefix: str):
+    """Fleet-scale aggregate: scatter to every routed site's cached
+    partials, merge centrally.  ``prefix`` follows the federation's
+    ``site/location`` convention (empty fans out fleet-wide);
+    ``rollup=1`` folds every partial into one fleet-wide window
+    series at location ``"fleet"``."""
+    rollup = req.param("rollup", "0").lower() in ("1", "true", "yes")
+    fplan = svc.fleet.aggregate_plan(table, prefix, rollup=rollup)
+    now = svc.now()
+    for site, site_plan in fplan.per_site.items():
+        dark = dark_shards(svc.fleet.sites[site], now)
+        hit = sorted(dark.intersection(site_plan.shards))
+        if hit:
+            raise Unavailable(
+                f"aggregate over table {table!r} needs site {site!r} "
+                f"shards {hit} which are dark under the active fault plan",
+                origin="repro.chaos",
+            )
+    rows = [
+        {
+            "location": a.location,
+            "field": a.field,
+            "window_start": a.window_start,
+            "window_s": a.window_s,
+            "count": a.count,
+            "min": a.minimum,
+            "mean": a.mean,
+            "max": a.maximum,
+        }
+        for a in svc.fleet.aggregate(
+            table, req.param("field"), req.float_param("t0"),
+            req.float_param("t1"), req.float_param("window"), prefix,
+            rollup=rollup,
+        )
+    ]
+    return {
+        "kind": "aggregate",
+        "table": table,
+        "plan": {
+            "federated": True,
+            "sites": sorted(fplan.per_site),
+            "fan_out": fplan.fan_out,
+            "rollup": rollup,
+            "uses_cache": all(p.uses_cache
+                              for p in fplan.per_site.values()),
         },
         "count": len(rows),
         "rows": rows,

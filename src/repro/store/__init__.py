@@ -16,7 +16,10 @@ repeated range queries O(windows) instead of O(records).
 * :mod:`repro.store.planner` — shard routing + cache-use planning;
 * :mod:`repro.store.engine` — :class:`ShardedStore` with the
   ``range`` / ``prefix`` / ``aggregate`` / ``latest`` / ``tail``
-  query API (``tail`` resumes from a :class:`TailBatch` cursor).
+  query API (``tail`` resumes from a :class:`TailBatch` cursor);
+* :mod:`repro.store.federation` — :class:`FederatedStore` routing N
+  sites' stores behind one ``site/location`` API, merging site-local
+  partial aggregates centrally and resharding saturated sites.
 
 :mod:`repro.bgq.envdb` routes its storage through this package; the
 ``repro store bench`` CLI subcommand exercises it end to end.
@@ -24,9 +27,15 @@ repeated range queries O(windows) instead of O(records).
 
 from __future__ import annotations
 
-from repro.store.aggregate import Aggregate, AggregateCache, window_index
+from repro.store.aggregate import (
+    Aggregate,
+    AggregateCache,
+    merge_partials,
+    window_index,
+)
 from repro.store.batcher import WriteBatcher
 from repro.store.engine import FlushReport, ShardedStore, TailBatch
+from repro.store.federation import FederatedQueryPlan, FederatedStore
 from repro.store.planner import QUERY_KINDS, QueryPlan, plan_query
 from repro.store.reading import Reading
 from repro.store.shards import ShardMap, shard_key
@@ -34,6 +43,8 @@ from repro.store.shards import ShardMap, shard_key
 __all__ = [
     "Aggregate",
     "AggregateCache",
+    "FederatedQueryPlan",
+    "FederatedStore",
     "FlushReport",
     "QUERY_KINDS",
     "QueryPlan",
@@ -42,6 +53,7 @@ __all__ = [
     "ShardedStore",
     "TailBatch",
     "WriteBatcher",
+    "merge_partials",
     "plan_query",
     "shard_key",
     "window_index",

@@ -49,6 +49,42 @@ def window_index(timestamp: float, window_s: float) -> int:
     return int(math.floor(timestamp / window_s))
 
 
+def merge_partials(partials: list[Aggregate],
+                   location: str | None = None) -> list[Aggregate]:
+    """Merge per-site partial aggregates into combined windows.
+
+    The federated aggregate plan: every site reduces its own records
+    with :meth:`ShardedStore.aggregate`, only the O(windows) partials
+    travel, and the center combines them here — counts and totals add,
+    minima and maxima fold.  With ``location`` set, every partial is
+    relabeled to it first (the fleet-wide rollup); otherwise partials
+    merge per location.  Output is sorted by (window_start, location),
+    the same order the store's own aggregate queries produce.
+    """
+    merged: dict[tuple[str, str, float, float], list] = {}
+    for part in partials:
+        loc = location if location is not None else part.location
+        key = (loc, part.field, float(part.window_s), part.window_start)
+        acc = merged.get(key)
+        if acc is None:
+            merged[key] = [part.count, part.minimum, part.maximum, part.total]
+        else:
+            acc[0] += part.count
+            if part.minimum < acc[1]:
+                acc[1] = part.minimum
+            if part.maximum > acc[2]:
+                acc[2] = part.maximum
+            acc[3] += part.total
+    out = [
+        Aggregate(location=loc, field=field_name, window_start=start,
+                  window_s=window_s, count=int(acc[0]), minimum=acc[1],
+                  maximum=acc[2], total=acc[3])
+        for (loc, field_name, window_s, start), acc in merged.items()
+    ]
+    out.sort(key=lambda a: (a.window_start, a.location, a.field))
+    return out
+
+
 class AggregateCache:
     """Per-shard cache of per-(location, window) field aggregates.
 

@@ -178,6 +178,7 @@ class ShardedStore:
         self._seq = 0
         self._seq_lock = threading.Lock()
         self._batches_flushed = 0
+        self._dropped_carryover = 0
         self._executor: ThreadPoolExecutor | None = None
         self._record_children = {
             i: STORE_RECORDS.labels(str(i)) for i in range(n_shards)
@@ -386,6 +387,57 @@ class ShardedStore:
             return list(self._executor.map(fn, shards))
         return [fn(index) for index in shards]
 
+    # -- rebalancing -----------------------------------------------------------
+
+    def reshard(self, n_shards: int) -> None:
+        """Rebuild the store over ``n_shards`` shards, replaying every
+        record in its original ingest order.
+
+        This is the saturation escape hatch: when a site's sweep exceeds
+        one shard's ingest budget, the federation re-spreads the same
+        location keyspace over more independent stores.  Records keep
+        their original global sequence numbers, so range/tail ordering
+        and open cursors are unaffected — only the placement changes.
+        """
+        if n_shards < 1:
+            raise ConfigError(f"need at least one shard, got {n_shards}")
+        if n_shards == len(self._shards):
+            return
+        replay: list[tuple[int, str, Reading]] = []
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                for name, table in shard.tables.items():
+                    replay.extend(
+                        (seq, name, reading)
+                        for seq, reading in zip(table.log_seqs,
+                                                table.log_records)
+                    )
+                dropped += shard.records_dropped
+        replay.sort(key=lambda item: item[0])
+
+        self.shard_map = ShardMap(n_shards, depth=self.shard_map.depth)
+        self._shards = [_Shard(i, self.table_names) for i in range(n_shards)]
+        self._record_children = {
+            i: STORE_RECORDS.labels(str(i)) for i in range(n_shards)
+        }
+        self._dropped_children = {
+            i: STORE_DROPPED.labels(str(i)) for i in range(n_shards)
+        }
+        # Drops happened against the *old* layout; keep the total honest
+        # without pinning them to a shard that no longer exists.
+        self._dropped_carryover += dropped
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        # Replay without touching STORE_RECORDS: these records were
+        # already counted when they first ingested.
+        for seq, name, reading in replay:
+            shard = self._shards[self.shard_map.shard_of(reading.location)]
+            with shard.lock:
+                shard.tables[name].insert(reading, seq)
+                shard.records_ingested += 1
+
     # -- capacity accounting ---------------------------------------------------
 
     def sweep_load(self, locations: list[str],
@@ -426,7 +478,8 @@ class ShardedStore:
 
     @property
     def dropped_records(self) -> int:
-        return sum(shard.records_dropped for shard in self._shards)
+        return (self._dropped_carryover
+                + sum(shard.records_dropped for shard in self._shards))
 
     @property
     def records_by_shard(self) -> dict[int, int]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.mech.cache import CachePlan, FieldPlan
 from repro.mech.source import SensorSource
 from repro.xeonphi.smc import SystemManagementController
 
@@ -43,3 +44,13 @@ class SmcSensorSource(SensorSource):
             name: self.smc.read_sensor_block(sensor, times)
             for name, sensor in self.sensors
         }
+
+    def cache_plan(self) -> CachePlan:
+        # Only power is sample-and-hold (the SMC's power gauge refresh
+        # window); the temperatures are continuous thermal models.
+        gauge = self.smc.card.power_gauge
+        held = FieldPlan(gauge.update_interval, gauge.phase)
+        return CachePlan(self.smc, {
+            name: held if sensor == "power_w" else FieldPlan()
+            for name, sensor in self.sensors
+        })

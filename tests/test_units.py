@@ -33,7 +33,9 @@ class TestPower:
     @given(st.floats(min_value=0.0, max_value=1e5))
     def test_milliwatt_roundtrip_within_half_mw(self, watts):
         back = units.milliwatts_to_watts(units.watts_to_milliwatts(watts))
-        assert back == pytest.approx(watts, abs=5e-4)
+        # Ties (x.5 mW) round to a full half-mW of error; allow a float
+        # epsilon on top so the boundary case itself passes.
+        assert back == pytest.approx(watts, abs=5.0001e-4)
 
     def test_energy(self):
         assert units.joules(100.0, 10.0) == 1000.0
