@@ -62,6 +62,18 @@
                                         # scenario over the fleet; the
                                         # summary line is byte-stable
                                         # for a given (scenario, seed)
+                                        # (pack-backed: the catalog is
+                                        # the chaos-kind manifests)
+    python -m repro pack list           # the scenario-pack catalog
+    python -m repro pack show <name> [--json]
+                                        # one validated manifest
+    python -m repro pack run <name...> [--smoke] [--json] [--jobs N]
+                          [--no-cache] [--cache-root DIR] [--seed N]
+                          [--duration S] [--rate R]
+                                        # compile manifests onto the
+                                        # exec engine and run them
+                                        # (--smoke: the fixed CI pair;
+                                        # --json: payloads as JSON)
 """
 
 from __future__ import annotations
@@ -235,63 +247,19 @@ def _bench_command(args: list[str]) -> int:
 
 
 def _fleet_command(args: list[str]) -> int:
-    """``repro fleet sweep [--smoke] [--json PATH]`` — run the
-    federated multi-cluster sweep (reshard saturated sites, advance
-    every site one polling horizon, fold the fleet-wide rollup) plus
-    the channel-cache crossings ablation, gating on the realtime-factor
-    floor, the >=5x crossings reduction, and byte-identity."""
-    from repro.analysis.tables import format_table
-    from repro.fleet import fleet_bench
-    from repro.fleet.sweep import CACHE_REDUCTION_FLOOR, REALTIME_FLOOR
+    """Deprecated alias: ``repro fleet sweep`` now runs as the
+    ``fleet-sweep`` scenario pack; the command itself lives in
+    :func:`repro.packs.shims.fleet_command` (same flags, same stdout
+    bytes, same exit codes)."""
+    from repro._compat import deprecated_alias
+    from repro.packs import shims
 
-    usage = "usage: python -m repro fleet sweep [--smoke] [--json PATH]"
-    if not args or args[0] != "sweep":
-        print(usage, file=sys.stderr)
-        return 2
-    smoke = "--smoke" in args
-    rest = [a for a in args[1:] if a != "--smoke"]
-    json_path: str | None = None
-    i = 0
-    while i < len(rest):
-        if rest[i] == "--json":
-            if i + 1 >= len(rest):
-                print("fleet sweep: --json needs a value", file=sys.stderr)
-                return 2
-            json_path = rest[i + 1]
-            i += 2
-        else:
-            print(f"fleet sweep: unexpected argument {rest[i]!r}\n{usage}",
-                  file=sys.stderr)
-            return 2
-    if json_path is None and not smoke:
-        json_path = "BENCH_fleet.json"  # smoke never writes by default
-
-    results = fleet_bench(json_path=json_path, smoke=smoke)
-    rows = [(f"sweep.{key}", f"{value:g}")
-            for key, value in results["fleet_sweep"].items()]
-    rows += [(f"cache.{key}",
-              str(value) if isinstance(value, bool) else f"{value:g}")
-             for key, value in results["cache_ablation"].items()]
-    wrote = f"wrote {json_path}" if json_path else "nothing written"
-    print(format_table(
-        ("metric", "value"), rows,
-        title=f"[repro fleet sweep] "
-              f"{'smoke' if smoke else 'full'} profile, {wrote}"))
-
-    failures = []
-    realtime = results["fleet_sweep"]["speedup_vs_scalar"]
-    if realtime < REALTIME_FLOOR:
-        failures.append(f"sweep realtime factor {realtime:.1f}x below "
-                        f"the {REALTIME_FLOOR:g}x floor")
-    reduction = results["cache_ablation"]["crossings_reduction"]
-    if reduction < CACHE_REDUCTION_FLOOR:
-        failures.append(f"cache crossings reduction {reduction:.1f}x below "
-                        f"the {CACHE_REDUCTION_FLOOR:g}x floor")
-    if not results["cache_ablation"]["byte_identical"]:
-        failures.append("channel cache changed MonEQ output bytes")
-    for failure in failures:
-        print(f"FAIL: {failure}", file=sys.stderr)
-    return 1 if failures else 0
+    command = deprecated_alias(
+        "repro.__main__._fleet_command",
+        "repro.packs.shims.fleet_command",
+        shims.fleet_command,
+    )
+    return command(args)
 
 
 def _int_flags(args: list[str], flags: dict[str, object]
@@ -445,79 +413,172 @@ def _mech_command(args: list[str]) -> int:
 
 
 def _chaos_command(args: list[str]) -> int:
-    """``repro chaos list|run`` — inspect the scenario catalog or run
-    one named scenario over the fleet testbed, printing the injected
-    faults' error-counter deltas, the ``repro_chaos_*`` /
-    ``repro_retry_*`` families, and a byte-stable summary line."""
-    from repro.analysis.tables import format_table
-    from repro.chaos import SCENARIOS, run_scenario
-    from repro.chaos.scenarios import DEFAULT_DURATION_S, DEFAULT_SEED
-    from repro.errors import ChaosError
-    from repro.obs import dump
+    """Deprecated alias: ``repro chaos`` now dispatches the chaos-kind
+    scenario packs; the command itself lives in
+    :func:`repro.packs.shims.chaos_command` (same flags, same stdout
+    bytes, same exit codes)."""
+    from repro._compat import deprecated_alias
+    from repro.packs import shims
 
-    usage = ("usage: python -m repro chaos list\n"
-             "       python -m repro chaos run <scenario> [--seed N] "
-             "[--duration S] [--rate R]")
+    command = deprecated_alias(
+        "repro.__main__._chaos_command",
+        "repro.packs.shims.chaos_command",
+        shims.chaos_command,
+    )
+    return command(args)
+
+
+def _pack_command(args: list[str]) -> int:
+    """``repro pack list|show|run`` — the declarative scenario packs:
+    inspect the ``packs/`` catalog, show one validated manifest, or
+    compile manifests onto the exec engine and run them."""
+    import json
+
+    from repro import packs
+    from repro.analysis.tables import format_table
+    from repro.errors import ExperimentExecutionError, PackError
+    from repro.experiments.report import render_block
+
+    usage = ("usage: python -m repro pack list\n"
+             "       python -m repro pack show <name> [--json]\n"
+             "       python -m repro pack run <name...> [--smoke] [--json]\n"
+             "           [--jobs N] [--no-cache] [--cache-root DIR]\n"
+             "           [--seed N] [--duration S] [--rate R]")
     if not args:
         print(usage, file=sys.stderr)
         return 2
 
     if args[0] == "list":
-        rows = [(s.name, f"{s.default_rate:g}", s.summary)
-                for s in SCENARIOS.values()]
+        try:
+            catalog = packs.all_packs()
+        except PackError as exc:
+            print(f"pack list: {exc}", file=sys.stderr)
+            return 1
+        rows = []
+        for spec in catalog.values():
+            if spec.kind == "experiments":
+                detail = f"{len(spec.experiments)} experiments"
+            elif spec.kind == "fleet":
+                detail = "smoke sweep" if spec.fleet.smoke else "full sweep"
+            else:
+                detail = (f"{spec.testbed.kind} / "
+                          f"{','.join(spec.mechanisms) or 'all'}")
+            rows.append((spec.name, spec.kind, detail, spec.summary))
         print(format_table(
-            ("scenario", "rate", "summary"), rows,
-            title=f"[repro chaos list] {len(rows)} scenarios"))
+            ("pack", "kind", "detail", "summary"), rows,
+            title=f"[repro pack list] {len(rows)} packs in "
+                  f"{packs.packs_dir()}"))
+        return 0
+
+    if args[0] == "show":
+        as_json = "--json" in args
+        names = [a for a in args[1:] if a != "--json"]
+        if len(names) != 1:
+            print("pack show: name exactly one pack", file=sys.stderr)
+            return 2
+        try:
+            raw = packs.run._resolve(names[0])
+            spec = packs.scenario_from_mapping(raw, source=names[0])
+        except PackError as exc:
+            print(f"pack show: {exc}", file=sys.stderr)
+            return 2
+        if as_json:
+            print(json.dumps(raw, indent=2, sort_keys=True))
+            return 0
+        rows = [
+            ("kind", spec.kind),
+            ("summary", spec.summary),
+            ("seed", str(spec.seed)),
+            ("duration", f"{spec.duration_s:g} s"),
+        ]
+        if spec.kind in ("session", "chaos"):
+            rows.append(("testbed", spec.testbed.kind))
+            rows.append(("mechanisms",
+                         ", ".join(spec.mechanisms) or "(testbed order)"))
+            rows.append(("interval",
+                         f"{spec.interval_s:g} s" if spec.interval_s
+                         is not None else "(mechanism floor)"))
+            if spec.workload is not None:
+                rows.append(("workload",
+                             f"{spec.workload.name}, "
+                             f"{len(spec.workload.phases)} phases"))
+            if spec.faults is not None:
+                rows.append(("fault rules", str(len(spec.faults.rules))))
+        elif spec.kind == "experiments":
+            rows.append(("experiments", ", ".join(spec.experiments)))
+        elif spec.kind == "fleet":
+            rows.append(("profile",
+                         "smoke" if spec.fleet.smoke else "full"))
+        print(format_table(("field", "value"), rows,
+                           title=f"[repro pack show] {spec.name}"))
         return 0
 
     if args[0] == "run":
-        seed, duration_s, rate = DEFAULT_SEED, DEFAULT_DURATION_S, None
-        positional: list[str] = []
-        rest = args[1:]
+        as_json = "--json" in args
+        smoke = "--smoke" in args
+        rest = [a for a in args[1:] if a not in ("--json", "--smoke")]
+        overrides = {"seed": None, "duration": None, "rate": None}
         try:
+            jobs, cache, cache_root, rest = _report_flags(rest)
+            names: list[str] = []
             i = 0
             while i < len(rest):
                 arg = rest[i]
-                if arg in ("--seed", "--duration", "--rate"):
+                key = arg[2:] if arg.startswith("--") else None
+                if key in overrides:
                     if i + 1 >= len(rest):
                         raise ValueError(f"{arg} needs a value")
-                    value = rest[i + 1]
-                    if arg == "--seed":
-                        seed = int(value)
-                    elif arg == "--duration":
-                        duration_s = float(value)
-                    else:
-                        rate = float(value)
+                    overrides[key] = (int(rest[i + 1]) if key == "seed"
+                                      else float(rest[i + 1]))
                     i += 2
                 else:
-                    positional.append(arg)
+                    names.append(arg)
                     i += 1
         except ValueError as exc:
-            print(f"chaos run: {exc}", file=sys.stderr)
+            print(f"pack run: {exc}", file=sys.stderr)
             return 2
-        if len(positional) != 1:
-            print(f"chaos run: name exactly one scenario "
-                  f"(have {sorted(SCENARIOS)})", file=sys.stderr)
+        if smoke:
+            if names:
+                print("pack run: --smoke runs the fixed CI pair; "
+                      "drop the pack names", file=sys.stderr)
+                return 2
+            names = list(packs.SMOKE_PACKS)
+        if not names:
+            print("pack run: name at least one pack "
+                  "(see 'python -m repro pack list')", file=sys.stderr)
             return 2
-        try:
-            result = run_scenario(positional[0], seed=seed,
-                                  duration_s=duration_s, rate=rate)
-        except ChaosError as exc:
-            print(f"chaos run: {exc}", file=sys.stderr)
-            return 2
-        if result.error_deltas:
-            rows = [(mechanism, kind, str(count))
-                    for (mechanism, kind), count
-                    in sorted(result.error_deltas.items())]
-            print(format_table(
-                ("mechanism", "kind", "errors"), rows,
-                title="[chaos] repro_collector_errors_total deltas"))
-        else:
-            print("# no collector errors (every fault recovered)")
-        chaos_lines = [line for line in dump().splitlines()
-                       if line.startswith(("repro_chaos", "repro_retry"))]
-        print("\n".join(chaos_lines))
-        print(result.summary_line())
+        documents = []
+        for name in names:
+            try:
+                result = packs.run_pack(
+                    name, jobs=jobs, cache=cache, cache_root=cache_root,
+                    seed=overrides["seed"],
+                    duration_s=overrides["duration"],
+                    rate=overrides["rate"])
+            except PackError as exc:
+                print(f"pack run: {exc}", file=sys.stderr)
+                return 2
+            except ExperimentExecutionError as exc:
+                print(f"pack run failed: {exc}", file=sys.stderr)
+                return 1
+            if as_json:
+                documents.append({
+                    "pack": result.spec.name,
+                    "kind": result.spec.kind,
+                    "exp_id": result.exp_id or None,
+                    "payload": result.payloads.get(result.exp_id),
+                    "blocks": {exp_id: render_block(block)
+                               for exp_id, block in result.blocks.items()},
+                })
+                continue
+            for block in result.blocks.values():
+                print("\n".join(render_block(block)))
+            stats = result.stats
+            print(f"# pack {result.spec.name}: {stats.executed} executed, "
+                  f"{stats.cache_hits} cached, {stats.wall_s * 1e3:.1f} ms "
+                  f"(jobs={jobs})")
+        if as_json:
+            print(json.dumps(documents, indent=2, sort_keys=True))
         return 0
 
     print(usage, file=sys.stderr)
@@ -663,6 +724,8 @@ def main(argv: list[str] | None = None) -> int:
         return _mech_command(args[1:])
     if command == "chaos":
         return _chaos_command(args[1:])
+    if command == "pack":
+        return _pack_command(args[1:])
     if command == "exec":
         return _exec_command(args[1:])
     if command == "report":

@@ -14,6 +14,7 @@ Namespace              Concern
 ``repro.api.errors``   the supported exception hierarchy
 ``repro.api.service``  the live monitoring query service
 ``repro.api.fleet``    federated multi-cluster fleets and sweeps
+``repro.api.packs``    declarative scenario packs over the engine
 =====================  ====================================================
 
 Compatibility policy
@@ -41,12 +42,22 @@ from __future__ import annotations
 
 from repro._compat import deprecated_alias
 from repro._version import __version__
-from repro.api import chaos, data, errors, exec, fleet, mech, service, session
+from repro.api import (
+    chaos,
+    data,
+    errors,
+    exec,
+    fleet,
+    mech,
+    packs,
+    service,
+    session,
+)
 
 #: Version of the supported surface (not the package release).
 API_VERSION = "2"
 
-#: The eight namespaced sub-surfaces of API v2.
+#: The nine namespaced sub-surfaces of API v2.
 NAMESPACES = {
     "session": session,
     "mech": mech,
@@ -56,6 +67,7 @@ NAMESPACES = {
     "errors": errors,
     "service": service,
     "fleet": fleet,
+    "packs": packs,
 }
 
 #: flat name -> namespace name; built from the namespaces' ``__all__``
@@ -98,6 +110,7 @@ __all__ = [
     "exec",
     "fleet",
     "mech",
+    "packs",
     "service",
     "session",
 ]

@@ -2,7 +2,9 @@
 
 Everything raises under :class:`~repro.errors.ReproError`; v2 adds
 :class:`~repro.errors.AccessDeniedError`, the POSIX-style denial the
-permission gate (and the service's 403 envelope) originates from.
+permission gate (and the service's 403 envelope) originates from, and
+:class:`~repro.errors.PackError`, the scenario-pack manifest rejection
+that always names the offending field.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from repro.errors import (
     MoneqBufferFullError,
     MoneqError,
     MoneqStateError,
+    PackError,
     ReproError,
     SensorError,
 )
@@ -29,6 +32,7 @@ __all__ = [
     "MoneqBufferFullError",
     "MoneqError",
     "MoneqStateError",
+    "PackError",
     "ReproError",
     "SensorError",
 ]

@@ -45,6 +45,7 @@ DEFAULT_FAULT_KINDS: dict[str, str] = {
     "sysmgmt": "scif_timeout",     # SCIF round trip timed out
     "micras": "daemon_wedged",     # pseudo-file read hung on the daemon
     "ipmb": "ipmb_drop",           # dropped/checksum-failed bus exchange
+    "micsmc": "scif_timeout",      # control-panel poll timed out on SCIF
     "store": "shard_dark",         # a store shard stops answering queries
 }
 

@@ -87,6 +87,7 @@ DEFAULT_POLICIES: dict[str, RetryPolicy] = {
     "sysmgmt": RetryPolicy(max_retries=2, backoff_base_s=15e-3, budget_s=0.1),
     "micras": RetryPolicy(max_retries=3, backoff_base_s=1e-3, budget_s=0.02),
     "ipmb": RetryPolicy(max_retries=2, backoff_base_s=22e-3, budget_s=0.2),
+    "micsmc": RetryPolicy(max_retries=2, backoff_base_s=15e-3, budget_s=0.1),
 }
 
 

@@ -1,21 +1,19 @@
 """Named chaos scenarios: composed fault plans run against the fleet.
 
 A scenario is a recipe: which :class:`~repro.chaos.faults.FaultRule`
-set to install, over which slice of a fleet-wide MonEQ session.  The
-catalog ships the reliability stories the ROADMAP names:
+set to install, over which slice of a fleet-wide MonEQ session.  Since
+the scenario-pack refactor the catalog is **data**: each recipe is a
+``kind = "chaos"`` manifest in the repository's ``packs/`` directory
+(``bmc_dark.toml``, ``daemon_wedge.toml``, ``bus_noise.toml`` — the
+reliability stories the ROADMAP names), and :data:`SCENARIOS` is
+derived from those manifests by :func:`repro.packs.catalog.
+chaos_scenarios`.  The recipes themselves are unchanged — the rule
+tuples a scenario builds are bit-identical to the hand-written
+catalog this module used to carry.
 
-* ``bmc_dark`` — a rack's BMC goes dark mid-sweep: every out-of-band
-  IPMB exchange fails from 40 % of the run onward; the circuit breaker
-  opens and the ipmb agent reads sensor-dark while the in-band paths
-  keep collecting.
-* ``daemon_wedge`` — the MICRAS daemon wedges mid-run: pseudo-file
-  reads answer promptly but serve the daemon's pre-wedge output (rate
-  1.0) from the wedge point on — stale beyond the freshness window.
-* ``bus_noise`` — transient IPMB bus noise at a configurable rate for
-  the whole run: most faults recover on the first retry, a few go dark.
-
-``run_scenario`` stands the fleet up (:func:`repro.testbeds.fleet_node`),
-activates the seeded plan for the session, and returns a
+``run_scenario`` executes one catalog scenario through the pack
+runtime (:func:`repro.packs.runtime.execute_scenario` — the same code
+path ``repro pack run`` compiles onto the exec engine), and returns a
 :class:`ScenarioResult` whose :meth:`~ScenarioResult.summary_line` is
 byte-stable for a given (scenario, seed) — the CLI smoke test and the
 determinism property suite both pin it.
@@ -53,39 +51,17 @@ class ChaosScenario:
         return FaultPlan(seed=seed, rules=self.rules(duration_s, effective))
 
 
-def _bmc_dark_rules(duration_s: float, rate: float) -> tuple[FaultRule, ...]:
-    # Mid-sweep: the BMC answers nothing from 40 % of the run onward.
-    return (FaultRule("ipmb", rate=rate, kind="bmc_dark",
-                      t_start=0.4 * duration_s),)
+def _load_catalog() -> dict[str, ChaosScenario]:
+    # Imported here (not at module top) because the catalog imports
+    # this module back for the ChaosScenario class; by the time the
+    # call runs, the class above is defined.
+    from repro.packs.catalog import chaos_scenarios
+
+    return chaos_scenarios()
 
 
-def _daemon_wedge_rules(duration_s: float, rate: float) -> tuple[FaultRule, ...]:
-    return (FaultRule("micras", rate=rate, kind="daemon_wedged",
-                      t_start=0.4 * duration_s),)
-
-
-def _bus_noise_rules(duration_s: float, rate: float) -> tuple[FaultRule, ...]:
-    return (FaultRule("ipmb", rate=rate, kind="ipmb_drop"),)
-
-
-SCENARIOS: dict[str, ChaosScenario] = {
-    "bmc_dark": ChaosScenario(
-        "bmc_dark",
-        "rack BMC goes dark mid-sweep; IPMB breaker opens, rest unharmed",
-        _bmc_dark_rules,
-    ),
-    "daemon_wedge": ChaosScenario(
-        "daemon_wedge",
-        "MICRAS daemon wedges mid-run; pseudo-file reads serve stale",
-        _daemon_wedge_rules,
-    ),
-    "bus_noise": ChaosScenario(
-        "bus_noise",
-        "transient IPMB bus noise; retries recover most exchanges",
-        _bus_noise_rules,
-        default_rate=0.10,
-    ),
-}
+#: The chaos catalog, derived from the ``kind = "chaos"`` packs.
+SCENARIOS: dict[str, ChaosScenario] = _load_catalog()
 
 
 @dataclass
@@ -133,9 +109,8 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED,
     the plan does — faulted crossings degrade to dark readings, they
     never raise.
     """
-    from repro import testbeds
-    from repro.core.moneq.session import MoneqSession
-    from repro.obs.instruments import COLLECTOR_ERRORS
+    from repro.packs.catalog import chaos_packs
+    from repro.packs.runtime import execute_scenario
 
     scenario = SCENARIOS.get(name)
     if scenario is None:
@@ -144,23 +119,11 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED,
     if plan is None:
         plan = scenario.plan(seed=seed, duration_s=duration_s, rate=rate)
 
-    node, backends = testbeds.fleet_node(seed=seed)
-    errors_before = COLLECTOR_ERRORS.samples()
-    session = MoneqSession(list(backends.values()), node.events,
-                           node_count=1, vfs=node.vfs)
-    with plan.active():
-        node.events.run_until(node.clock.now + duration_s)
-        result = session.finalize()
-
-    error_deltas: dict[tuple[str, str], int] = {}
-    for key, value in COLLECTOR_ERRORS.samples().items():
-        delta = value - errors_before.get(key, 0.0)
-        if delta:
-            error_deltas[(key[0], key[1])] = int(delta)
-    outputs = {path: node.vfs.read_text(path)
-               for path in result.output_paths}
+    spec = chaos_packs()[name]
+    run = execute_scenario(spec, seed=seed, duration_s=duration_s,
+                           plan=plan)
     return ScenarioResult(
         scenario=name, seed=seed, duration_s=duration_s,
-        interval_s=session.interval_s, ticks=result.overhead.ticks,
-        plan=plan, outputs=outputs, error_deltas=error_deltas,
+        interval_s=run.interval_s, ticks=run.ticks,
+        plan=plan, outputs=run.outputs, error_deltas=run.error_deltas,
     )

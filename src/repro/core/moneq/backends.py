@@ -62,9 +62,11 @@ from repro.xeonphi.ipmb import (
     BaseboardManagementController,
 )
 from repro.xeonphi.micras import MICRAS_READ_LATENCY_S, MicrasDaemon
+from repro.xeonphi.smc import SystemManagementController
 from repro.xeonphi.sources import (
     IPMB_SENSORS,
     MICRAS_SENSORS,
+    MICSMC_SENSORS,
     SYSMGMT_SENSORS,
     SmcSensorSource,
 )
@@ -207,6 +209,23 @@ IPMB_SPEC = register(MechanismSpec(
     summary="out-of-band BMC polling over IPMB",
 ))
 
+MICSMC_SPEC = register(MechanismSpec(
+    name="micsmc",
+    platform="Xeon Phi",
+    channel=AccessChannel(
+        "scif-micsmc", SYSMGMT_QUERY_LATENCY_S,
+        description="host-side micsmc control-panel poll (paper §II-D): "
+                    "one in-band SCIF round trip per card-status sensor",
+    ),
+    freshness=FreshnessModel.floor(
+        0.100, note="rides the in-band management path and its floor",
+    ),
+    capability=XEON_PHI_DECL,
+    fields=tuple(name for name, _ in MICSMC_SENSORS),
+    queries_per_read=len(MICSMC_SENSORS),
+    summary="the micsmc control-panel utility polling card status",
+))
+
 # ---------------------------------------------------------------------------
 # The compositions: historical constructor signatures, no read bodies.
 # ---------------------------------------------------------------------------
@@ -341,6 +360,26 @@ class PhiMicrasBackend(Mechanism):
             label=f"mic{daemon.card.mic_index}-daemon",
         )
         self.daemon = daemon
+
+
+class PhiMicsmcBackend(Mechanism):
+    """The host-side ``micsmc`` control panel polling one Phi card's
+    status (paper §II-D) — the same SMC registers the other paths read,
+    crossed in-band over SCIF one sensor at a time."""
+
+    platform = MICSMC_SPEC.platform
+    mechanism = MICSMC_SPEC.name
+    MIN_INTERVAL_S = MICSMC_SPEC.min_interval_s
+
+    def __init__(self, smc: SystemManagementController,
+                 label: str | None = None):
+        super().__init__(
+            MICSMC_SPEC, SmcSensorSource(smc, MICSMC_SENSORS),
+            label=label if label is not None else (
+                f"mic{smc.card.mic_index}-micsmc"
+            ),
+        )
+        self.smc = smc
 
 
 class RaplPerfBackend(Mechanism):

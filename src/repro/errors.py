@@ -160,3 +160,9 @@ class ChaosError(ReproError):
     """Misuse of the fault-injection subsystem (activating a second
     plan over an installed one, deactivating a plan that is not
     active, unknown chaos scenario, ...)."""
+
+
+class PackError(ConfigError):
+    """Invalid scenario-pack manifest (unknown key, wrong type, missing
+    mechanism, unknown pack name, ...).  The message always names the
+    offending manifest field by its dotted path."""

@@ -32,7 +32,7 @@ VENDOR_MECHANISMS: dict[str, tuple[str, ...]] = {
     "bgq": ("emon", "envdb"),
     "rapl": ("rapl_msr", "rapl_perf", "rapl_powercap"),
     "nvml": ("nvml",),
-    "xeonphi": ("sysmgmt", "micras", "ipmb", "scif"),
+    "xeonphi": ("sysmgmt", "micras", "ipmb", "micsmc", "scif"),
 }
 
 COLLECTOR_QUERIES = _REGISTRY.counter(
@@ -349,6 +349,26 @@ EXEC_CACHE = _REGISTRY.counter(
 EXEC_WORKER_RESTARTS = _REGISTRY.counter(
     "repro_exec_worker_restarts_total",
     "Workers replaced after a crash or task timeout",
+)
+
+# -- Scenario packs ----------------------------------------------------------
+
+PACK_RUNS = _REGISTRY.counter(
+    "repro_pack_runs_total",
+    "Scenario-pack runs dispatched through the pack runner, by pack "
+    "and scenario kind",
+    labels=("pack", "kind"),
+)
+PACK_RUN_SECONDS = _REGISTRY.histogram(
+    "repro_pack_run_seconds",
+    "Wall time of one pack run end to end (compile, engine, assemble)",
+    buckets=(1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0),
+    labels=("pack",),
+)
+PACK_VALIDATION_ERRORS = _REGISTRY.counter(
+    "repro_pack_validation_errors_total",
+    "Manifest validation failures (unknown key, bad type, unknown "
+    "mechanism/experiment), each naming the offending field",
 )
 
 

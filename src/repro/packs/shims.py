@@ -1,0 +1,195 @@
+"""The legacy ``repro chaos`` / ``repro fleet`` CLI surfaces, rerouted
+through the pack runner.
+
+Both commands keep their flags, their stdout bytes, and their exit
+codes from before the scenario-pack refactor — the CLI smoke tests pin
+them — but execution now flows through
+:func:`repro.packs.run.run_pack`:
+
+* ``chaos run`` dispatches the scenario's catalog manifest onto the
+  exec engine with ``jobs=1`` (in-process, so the ``repro_chaos_*`` /
+  ``repro_retry_*`` families land in this process's registry for the
+  metric dump) and the cache off (a chaos run is live injection, not a
+  cacheable result).  The summary line is rebuilt from the engine
+  payload — floats round-trip JSON exactly, so the bytes match the
+  legacy ``ScenarioResult.summary_line()``.
+* ``fleet sweep`` runs the ``fleet-sweep`` catalog pack with the CLI's
+  profile folded into the manifest; the shim writes ``--json`` output
+  itself, byte-identical to what ``fleet_bench`` used to write.
+
+``repro.__main__`` resolves these through
+:func:`repro._compat.deprecated_alias`, so the old private entry
+points keep working while pointing migrators at this module.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: The catalog pack behind ``repro fleet sweep``.
+FLEET_PACK = "fleet-sweep"
+
+
+def summary_line(payload: dict) -> str:
+    """The chaos summary line, byte-identical to the legacy
+    ``ScenarioResult.summary_line()``, rebuilt from a pack payload."""
+    s = payload["stats"]
+    return (f"[repro chaos run] scenario={payload['pack']} "
+            f"seed={payload['seed']} interval_s={payload['interval_s']:.3f} "
+            f"ticks={payload['ticks']} faults={s['faults']} "
+            f"recovered={s['recovered']} dark={s['dark']} "
+            f"retries={s['retries']} backoff_s={s['backoff_s']:.6f} "
+            f"breaker_opens={s['breaker_opens']} stale={s['stale']}")
+
+
+def chaos_command(args: list[str]) -> int:
+    """``repro chaos list|run`` — inspect the scenario catalog or run
+    one named scenario over the fleet testbed, printing the injected
+    faults' error-counter deltas, the ``repro_chaos_*`` /
+    ``repro_retry_*`` families, and a byte-stable summary line."""
+    from repro.analysis.tables import format_table
+    from repro.chaos import SCENARIOS
+    from repro.chaos.scenarios import DEFAULT_DURATION_S, DEFAULT_SEED
+    from repro.obs import dump
+    from repro.packs.run import run_pack
+
+    usage = ("usage: python -m repro chaos list\n"
+             "       python -m repro chaos run <scenario> [--seed N] "
+             "[--duration S] [--rate R]")
+    if not args:
+        print(usage, file=sys.stderr)
+        return 2
+
+    if args[0] == "list":
+        rows = [(s.name, f"{s.default_rate:g}", s.summary)
+                for s in SCENARIOS.values()]
+        print(format_table(
+            ("scenario", "rate", "summary"), rows,
+            title=f"[repro chaos list] {len(rows)} scenarios"))
+        return 0
+
+    if args[0] == "run":
+        seed, duration_s, rate = DEFAULT_SEED, DEFAULT_DURATION_S, None
+        positional: list[str] = []
+        rest = args[1:]
+        try:
+            i = 0
+            while i < len(rest):
+                arg = rest[i]
+                if arg in ("--seed", "--duration", "--rate"):
+                    if i + 1 >= len(rest):
+                        raise ValueError(f"{arg} needs a value")
+                    value = rest[i + 1]
+                    if arg == "--seed":
+                        seed = int(value)
+                    elif arg == "--duration":
+                        duration_s = float(value)
+                    else:
+                        rate = float(value)
+                    i += 2
+                else:
+                    positional.append(arg)
+                    i += 1
+        except ValueError as exc:
+            print(f"chaos run: {exc}", file=sys.stderr)
+            return 2
+        if len(positional) != 1:
+            print(f"chaos run: name exactly one scenario "
+                  f"(have {sorted(SCENARIOS)})", file=sys.stderr)
+            return 2
+        name = positional[0]
+        if name not in SCENARIOS:
+            # The legacy wording, verbatim (what ChaosError carried).
+            print(f"chaos run: unknown chaos scenario {name!r}; "
+                  f"have {sorted(SCENARIOS)}", file=sys.stderr)
+            return 2
+        result = run_pack(name, jobs=1, cache=False, seed=seed,
+                          duration_s=duration_s, rate=rate)
+        payload = result.payloads[result.exp_id]
+        if payload["error_deltas"]:
+            rows = [(mechanism, kind, str(count))
+                    for mechanism, kind, count in payload["error_deltas"]]
+            print(format_table(
+                ("mechanism", "kind", "errors"), rows,
+                title="[chaos] repro_collector_errors_total deltas"))
+        else:
+            print("# no collector errors (every fault recovered)")
+        chaos_lines = [line for line in dump().splitlines()
+                       if line.startswith(("repro_chaos", "repro_retry"))]
+        print("\n".join(chaos_lines))
+        print(summary_line(payload))
+        return 0
+
+    print(usage, file=sys.stderr)
+    return 2
+
+
+def fleet_command(args: list[str]) -> int:
+    """``repro fleet sweep [--smoke] [--json PATH]`` — run the
+    federated multi-cluster sweep plus the channel-cache ablation as
+    the ``fleet-sweep`` pack, gating on the realtime-factor floor, the
+    >=5x crossings reduction, and byte-identity."""
+    from repro.analysis.tables import format_table
+    from repro.fleet.sweep import CACHE_REDUCTION_FLOOR, REALTIME_FLOOR
+    from repro.packs import catalog
+    from repro.packs.run import run_pack
+
+    usage = "usage: python -m repro fleet sweep [--smoke] [--json PATH]"
+    if not args or args[0] != "sweep":
+        print(usage, file=sys.stderr)
+        return 2
+    smoke = "--smoke" in args
+    rest = [a for a in args[1:] if a != "--smoke"]
+    json_path: str | None = None
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--json":
+            if i + 1 >= len(rest):
+                print("fleet sweep: --json needs a value", file=sys.stderr)
+                return 2
+            json_path = rest[i + 1]
+            i += 2
+        else:
+            print(f"fleet sweep: unexpected argument {rest[i]!r}\n{usage}",
+                  file=sys.stderr)
+            return 2
+    if json_path is None and not smoke:
+        json_path = "BENCH_fleet.json"  # smoke never writes by default
+
+    raw = catalog.raw_pack(FLEET_PACK)
+    raw = {**raw, "fleet": {**raw.get("fleet", {}), "smoke": smoke}}
+    result = run_pack(raw, jobs=1)
+    payload = result.payloads[result.exp_id]
+    results = {"fleet_sweep": payload["fleet_sweep"],
+               "cache_ablation": payload["cache_ablation"]}
+    if json_path is not None:
+        # The exact bytes fleet_bench(json_path=...) used to write.
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    rows = [(f"sweep.{key}", f"{value:g}")
+            for key, value in results["fleet_sweep"].items()]
+    rows += [(f"cache.{key}",
+              str(value) if isinstance(value, bool) else f"{value:g}")
+             for key, value in results["cache_ablation"].items()]
+    wrote = f"wrote {json_path}" if json_path else "nothing written"
+    print(format_table(
+        ("metric", "value"), rows,
+        title=f"[repro fleet sweep] "
+              f"{'smoke' if smoke else 'full'} profile, {wrote}"))
+
+    failures = []
+    realtime = results["fleet_sweep"]["speedup_vs_scalar"]
+    if realtime < REALTIME_FLOOR:
+        failures.append(f"sweep realtime factor {realtime:.1f}x below "
+                        f"the {REALTIME_FLOOR:g}x floor")
+    reduction = results["cache_ablation"]["crossings_reduction"]
+    if reduction < CACHE_REDUCTION_FLOOR:
+        failures.append(f"cache crossings reduction {reduction:.1f}x below "
+                        f"the {CACHE_REDUCTION_FLOOR:g}x floor")
+    if not results["cache_ablation"]["byte_identical"]:
+        failures.append("channel cache changed MonEQ output bytes")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0

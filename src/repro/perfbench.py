@@ -317,6 +317,43 @@ def bench_fleet_smoke() -> dict:
     }
 
 
+def bench_pack_overhead(pack: str = "phi-micsmc", reps: int = 3) -> dict:
+    """Dispatch overhead of the scenario-pack layer: ``run_pack``
+    (resolve the catalog manifest, validate, compile, dispatch) versus
+    the same compiled spec run straight through the engine.
+
+    ``speedup_vs_scalar`` is ``wall(engine only) / wall(run_pack)`` —
+    ~1.0 when the pack layer is thin (locally ~0.95+, i.e. the manifest
+    layer adds under 5% to a direct engine run).  Both sides run
+    ``jobs=1`` with the cache off so the measured work is the live
+    session itself; the floor catches the pack layer growing per-run
+    work (re-validation in a loop, manifest re-reads, O(catalog)
+    scans)."""
+    from repro.exec.engine import Engine
+    from repro.packs import catalog
+    from repro.packs import run as pack_run
+
+    raw = catalog.raw_pack(pack)
+    spec, _ = pack_run.compile_spec(raw)
+
+    def engine_only():
+        Engine(jobs=1, cache=False).run([spec.exp_id])
+
+    def through_packs():
+        pack_run.run_pack(pack, jobs=1, cache=False)
+
+    engine_only()  # warm imports and testbed caches out of the timing
+    through_packs()
+    wall_engine = min(_wall(engine_only)[0] for _ in range(reps))
+    wall_pack = min(_wall(through_packs)[0] for _ in range(reps))
+    return {
+        "wall_s": wall_pack,
+        "speedup_vs_scalar": wall_engine / wall_pack,
+        "engine_wall_s": wall_engine,
+        "pack": pack,
+    }
+
+
 #: Bench name -> zero-argument callable, in report order.
 ALL_BENCHES: dict[str, Callable[[], dict]] = {
     "moneq_block": bench_moneq_block,
@@ -339,6 +376,7 @@ SMOKE_BENCHES: dict[str, Callable[[], dict]] = {
     "chaos_hotpath": lambda: bench_chaos_hotpath(rows=50_000, reps=3),
     "service": bench_service_smoke,
     "fleet": bench_fleet_smoke,
+    "pack_overhead": bench_pack_overhead,
 }
 
 #: Absolute speedup floors a smoke check enforces.  Deliberately far
@@ -363,6 +401,11 @@ SMOKE_FLOORS: dict[str, float] = {
     # ~1000x measured locally, 2x still means the federated sweep runs
     # faster than the machines it models.
     "fleet": 2.0,
+    # pack_overhead's ratio is engine-only/run_pack (<= ~1 by
+    # definition): locally ~0.95+ (the manifest layer adds <5% to a
+    # direct engine run); 0.80 still separates a thin dispatch from a
+    # pack layer doing per-run heavy lifting.
+    "pack_overhead": 0.80,
 }
 
 #: Relative slack allowed when re-measuring a committed speedup.  Wide

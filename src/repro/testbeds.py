@@ -143,6 +143,7 @@ def fleet_node(seed: int = 0x5EED,
         NvmlBackend,
         PhiIpmbBackend,
         PhiMicrasBackend,
+        PhiMicsmcBackend,
         PhiSysMgmtBackend,
         RaplMsrBackend,
         RaplPerfBackend,
@@ -187,6 +188,7 @@ def fleet_node(seed: int = 0x5EED,
         "micras": PhiMicrasBackend(micras),
         "ipmb": PhiIpmbBackend(BaseboardManagementController(
             SmcIpmbResponder(smc, node.clock), node.clock)),
+        "micsmc": PhiMicsmcBackend(smc),
     }
     return node, backends
 

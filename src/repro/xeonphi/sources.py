@@ -26,6 +26,16 @@ MICRAS_SENSORS: tuple[tuple[str, str], ...] = (
     ("die_temp_c", "die_temp_c"),
 )
 IPMB_SENSORS: tuple[tuple[str, str], ...] = SYSMGMT_SENSORS
+#: The ``micsmc`` control panel (paper §II-D): a host-side utility
+#: polling the card status the SMC exposes — power, thermals, fan,
+#: core voltage, and memory usage.
+MICSMC_SENSORS: tuple[tuple[str, str], ...] = (
+    ("card_w", "power_w"),
+    ("die_temp_c", "die_temp_c"),
+    ("fan_rpm", "fan_rpm"),
+    ("core_voltage_v", "core_voltage_v"),
+    ("memory_used_b", "memory_used_b"),
+)
 
 
 class SmcSensorSource(SensorSource):

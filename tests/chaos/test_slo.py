@@ -51,7 +51,7 @@ class TestBmcGoesDark:
     def test_session_completes_despite_the_outage(self):
         result = run_scenario("bmc_dark", seed=11, duration_s=DURATION_S)
         assert result.ticks > 0
-        assert len(result.outputs) == 8  # every fleet agent wrote a file
+        assert len(result.outputs) == 9  # every fleet agent wrote a file
         # The ipmb agent kept its cadence: dark ticks are rows reading
         # nan, not missing rows.
         assert result.outputs[IPMB_PATH].count("\n") == \

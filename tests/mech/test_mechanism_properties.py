@@ -15,6 +15,7 @@ from repro.core.moneq.backends import (
     NvmlBackend,
     PhiIpmbBackend,
     PhiMicrasBackend,
+    PhiMicsmcBackend,
     PhiSysMgmtBackend,
     RaplMsrBackend,
     RaplPerfBackend,
@@ -71,6 +72,10 @@ def _make_ipmb():
     return PhiIpmbBackend(testbeds.phi_node(seed=SEED).bmc)
 
 
+def _make_micsmc():
+    return PhiMicsmcBackend(testbeds.phi_node(seed=SEED).smc)
+
+
 #: mechanism name -> live instance factory; one entry per registered
 #: spec, enforced by test_every_registered_mechanism_is_exercised.
 FACTORIES = {
@@ -82,6 +87,7 @@ FACTORIES = {
     "sysmgmt": _make_sysmgmt,
     "micras": _make_micras,
     "ipmb": _make_ipmb,
+    "micsmc": _make_micsmc,
 }
 
 

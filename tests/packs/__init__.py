@@ -1,0 +1,1 @@
+"""Scenario-pack subsystem tests."""

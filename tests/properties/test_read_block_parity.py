@@ -23,6 +23,7 @@ from repro.core.moneq.backends import (
     NvmlBackend,
     PhiIpmbBackend,
     PhiMicrasBackend,
+    PhiMicsmcBackend,
     PhiSysMgmtBackend,
     RaplMsrBackend,
     RaplPerfBackend,
@@ -134,6 +135,11 @@ def _pair_ipmb(seed):
     return PhiIpmbBackend(rig.bmc), PhiIpmbBackend(rig.bmc), None
 
 
+def _pair_micsmc(seed):
+    rig = testbeds.phi_node(seed=seed)
+    return PhiMicsmcBackend(rig.smc), PhiMicsmcBackend(rig.smc), None
+
+
 PAIRS = {
     "emon": _pair_emon,
     "rapl_msr": _pair_msr,
@@ -143,6 +149,7 @@ PAIRS = {
     "sysmgmt": _pair_sysmgmt,
     "micras": _pair_micras,
     "ipmb": _pair_ipmb,
+    "micsmc": _pair_micsmc,
 }
 
 

@@ -21,7 +21,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "api.md"
 
 NAMESPACE_NAMES = ("session", "mech", "data", "chaos", "exec",
-                   "errors", "service", "fleet")
+                   "errors", "service", "fleet", "packs")
 
 
 @pytest.mark.tier1
